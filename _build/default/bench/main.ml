@@ -1,0 +1,103 @@
+(* Benchmark entry point: regenerates every table and figure of the
+   paper (quick methodology) and measures single-threaded per-op cost
+   with Bechamel.
+
+     dune exec bench/main.exe
+
+   Full-strength runs (the paper's 10-invocation methodology, 10^7
+   ops) are available through bin/repro.exe; this executable is sized
+   to complete in minutes on the single-core evaluation host.
+
+   One Bechamel test per queue covers the "single core performance"
+   discussion of §5.2; the Figure 2 / Table 1 / Table 2 / ablation
+   sections print the same rows the paper reports. *)
+
+open Bechamel
+open Bechamel.Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel: single-threaded enqueue-dequeue pair cost per queue      *)
+
+let pair_test (f : Harness.Queues.factory) =
+  let instance = f.Harness.Queues.make () in
+  let ops = instance.Harness.Queues.register () in
+  let counter = ref 0 in
+  Test.make ~name:f.Harness.Queues.name
+    (Staged.stage (fun () ->
+         incr counter;
+         ops.Harness.Queues.enqueue !counter;
+         ignore (ops.Harness.Queues.dequeue ())))
+
+let obstruction_free_test =
+  let q = Wfq.Obstruction_free.create () in
+  let counter = ref 0 in
+  Test.make ~name:"obstruction-free"
+    (Staged.stage (fun () ->
+         incr counter;
+         Wfq.Obstruction_free.enqueue q !counter;
+         ignore (Wfq.Obstruction_free.dequeue q)))
+
+let run_bechamel () =
+  let tests =
+    Test.make_grouped ~name:"pair"
+      (obstruction_free_test :: List.map pair_test Harness.Queues.all)
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let instances = [ Instance.monotonic_clock ] in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table = Harness.Report.create ~header:[ "queue"; "ns/pair (OLS)" ] in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (x :: _) -> Printf.sprintf "%.1f" x
+        | Some [] | None -> "n/a"
+      in
+      Harness.Report.add_row table [ name; est ])
+    (List.sort compare rows);
+  Harness.Report.print
+    ~title:"Single-core per-operation cost (Bechamel OLS, one enqueue+dequeue pair)" table
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  print_endline "=== Reproduction benchmarks: Yang & Mellor-Crummey, PPoPP'16 ===";
+  print_endline "(quick methodology; see bin/repro.exe for the full 10x20 runs)";
+
+  (* Table 1 *)
+  ignore (Harness.Experiments.table1 ());
+
+  (* §5.2 single-core discussion *)
+  run_bechamel ();
+
+  (* Figure 2, both benchmarks *)
+  let threads = [ 1; 2; 4; 8 ] in
+  let total_ops = 100_000 in
+  ignore (Harness.Experiments.figure2 ~quick:true ~threads ~total_ops Harness.Workload.Pairs);
+  ignore
+    (Harness.Experiments.figure2 ~quick:true ~threads ~total_ops Harness.Workload.Fifty_fifty);
+
+  (* Figure 2, Power7 panel analogue: FAA emulated with a CAS retry
+     loop (the architecture row of Table 1 with "native FAA: no") *)
+  let power7_queues =
+    List.filter_map Harness.Queues.find [ "wf-10"; "wf-llsc"; "msqueue"; "ccqueue" ]
+  in
+  ignore
+    (Harness.Experiments.figure2 ~quick:true ~threads ~total_ops ~queues:power7_queues
+       ~title_note:", Power7 analogue: CAS-emulated FAA" Harness.Workload.Pairs);
+
+  (* Table 2 *)
+  ignore (Harness.Experiments.table2 ~quick:true ~threads:[ 4; 8; 16; 32 ] ~total_ops ());
+
+  (* Latency tails: the predictability claim *)
+  ignore (Harness.Latency.experiment ~threads:8 ~ops_per_thread:10_000 ());
+
+  (* Ablations *)
+  ignore (Harness.Experiments.ablation_patience ~quick:true ~threads:4 ~total_ops ());
+  ignore (Harness.Experiments.ablation_segment_size ~quick:true ~threads:4 ~total_ops ());
+  ignore (Harness.Experiments.ablation_max_garbage ~quick:true ~threads:4 ~total_ops ());
+  ignore (Harness.Experiments.ablation_reclamation ~quick:true ~threads:4 ~total_ops ());
+  print_endline "\nDone.  EXPERIMENTS.md records paper-vs-measured for each artifact."

@@ -1,0 +1,174 @@
+(* Command-line driver regenerating every table and figure of the
+   paper's evaluation (see DESIGN.md §4 for the experiment index).
+
+     repro table1                    platform inventory
+     repro fig2 --benchmark pairs    Figure 2 throughput sweep
+     repro table2                    WF-0 execution-path breakdown
+     repro ablation-*                design-choice ablations
+
+   All benchmarks print fixed-width tables; --csv PATH additionally
+   saves the rows. *)
+
+open Cmdliner
+
+let csv_arg =
+  let doc = "Also write the table as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"PATH" ~doc)
+
+let quick_arg =
+  let doc =
+    "Quick methodology: 3 invocations of up to 5 iterations instead of the paper's 10x20, and a \
+     smaller default operation budget."
+  in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let threads_arg ~default =
+  let doc = "Comma-separated list of thread counts." in
+  Arg.(value & opt (list int) default & info [ "threads" ] ~docv:"N,N,..." ~doc)
+
+let total_ops_arg =
+  let doc = "Total operations per iteration (default: paper's 10^7; quick mode: 4x10^5)." in
+  Arg.(value & opt (some int) None & info [ "ops" ] ~docv:"N" ~doc)
+
+let save csv t = Option.iter (fun path -> Harness.Report.save_csv t ~path) csv
+
+let table1_cmd =
+  let run csv = save csv (Harness.Experiments.table1 ()) in
+  Cmd.v (Cmd.info "table1" ~doc:"Table 1: experimental platforms") Term.(const run $ csv_arg)
+
+let bench_arg =
+  let doc = "Benchmark: 'pairs' (enqueue-dequeue pairs) or 'half' (50%-enqueues)." in
+  Arg.(value & opt string "pairs" & info [ "benchmark"; "b" ] ~docv:"KIND" ~doc)
+
+let queues_arg =
+  let doc =
+    "Comma-separated queue names to run (default: the Figure 2 set). Known names: see \
+     'repro list'."
+  in
+  Arg.(value & opt (some (list string)) None & info [ "queues" ] ~docv:"Q,Q,..." ~doc)
+
+let fig2_cmd =
+  let run csv quick threads total_ops bench queues =
+    match Harness.Workload.kind_of_string bench with
+    | Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok kind ->
+      let queues =
+        Option.map
+          (List.map (fun n ->
+               match Harness.Queues.find n with
+               | Some f -> f
+               | None ->
+                 Printf.eprintf "unknown queue %S; try 'repro list'\n" n;
+                 exit 2))
+          queues
+      in
+      save csv (Harness.Experiments.figure2 ~quick ~threads ?queues ?total_ops kind)
+  in
+  Cmd.v
+    (Cmd.info "fig2" ~doc:"Figure 2: throughput of all queues across thread counts")
+    Term.(
+      const run $ csv_arg $ quick_arg
+      $ threads_arg ~default:[ 1; 2; 4; 8; 16 ]
+      $ total_ops_arg $ bench_arg $ queues_arg)
+
+let table2_cmd =
+  let run csv quick threads total_ops =
+    save csv (Harness.Experiments.table2 ~quick ~threads ?total_ops ())
+  in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Table 2: WF-0 execution-path breakdown under 50%-enqueues")
+    Term.(const run $ csv_arg $ quick_arg $ threads_arg ~default:[ 4; 8; 16; 32 ] $ total_ops_arg)
+
+let one_thread_arg =
+  let doc = "Thread count for the ablation." in
+  Arg.(value & opt int 8 & info [ "threads" ] ~docv:"N" ~doc)
+
+let ablation cmd_name doc f =
+  let run csv quick threads total_ops = save csv (f ~quick ~threads ?total_ops ()) in
+  Cmd.v (Cmd.info cmd_name ~doc) Term.(const run $ csv_arg $ quick_arg $ one_thread_arg $ total_ops_arg)
+
+let ablation_patience_cmd =
+  ablation "ablation-patience" "PATIENCE sweep (fast/slow-path cutover)"
+    (fun ~quick ~threads ?total_ops () ->
+      Harness.Experiments.ablation_patience ~quick ~threads ?total_ops ())
+
+let ablation_segment_cmd =
+  ablation "ablation-segment" "Segment size sweep (the paper's N)"
+    (fun ~quick ~threads ?total_ops () ->
+      Harness.Experiments.ablation_segment_size ~quick ~threads ?total_ops ())
+
+let ablation_garbage_cmd =
+  ablation "ablation-garbage" "MAX_GARBAGE cleanup-threshold sweep"
+    (fun ~quick ~threads ?total_ops () ->
+      Harness.Experiments.ablation_max_garbage ~quick ~threads ?total_ops ())
+
+let ablation_reclaim_cmd =
+  ablation "ablation-reclaim" "Reclamation on/off on the hot path"
+    (fun ~quick ~threads ?total_ops () ->
+      Harness.Experiments.ablation_reclamation ~quick ~threads ?total_ops ())
+
+let latency_cmd =
+  let run csv threads queues =
+    let queues =
+      Option.map
+        (List.map (fun n ->
+             match Harness.Queues.find n with
+             | Some f -> f
+             | None ->
+               Printf.eprintf "unknown queue %S; try 'repro list'\n" n;
+               exit 2))
+        queues
+    in
+    save csv (Harness.Latency.experiment ?queues ~threads ())
+  in
+  Cmd.v
+    (Cmd.info "latency" ~doc:"Per-operation latency tails (the wait-freedom predictability claim)")
+    Term.(const run $ csv_arg $ one_thread_arg $ queues_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (f : Harness.Queues.factory) ->
+        Printf.printf "%-10s %s\n" f.Harness.Queues.name f.Harness.Queues.description)
+      Harness.Queues.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available queue implementations") Term.(const run $ const ())
+
+let all_cmd =
+  let run quick =
+    ignore (Harness.Experiments.table1 ());
+    ignore (Harness.Experiments.figure2 ~quick Harness.Workload.Pairs);
+    ignore (Harness.Experiments.figure2 ~quick Harness.Workload.Fifty_fifty);
+    ignore (Harness.Experiments.table2 ~quick ());
+    ignore (Harness.Latency.experiment ());
+    ignore (Harness.Experiments.ablation_patience ~quick ());
+    ignore (Harness.Experiments.ablation_segment_size ~quick ());
+    ignore (Harness.Experiments.ablation_max_garbage ~quick ());
+    ignore (Harness.Experiments.ablation_reclamation ~quick ())
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every table, figure and ablation in sequence")
+    Term.(const run $ quick_arg)
+
+let () =
+  let info =
+    Cmd.info "repro" ~version:"1.0.0"
+      ~doc:"Reproduce the evaluation of 'A Wait-free Queue as Fast as Fetch-and-Add' (PPoPP'16)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            table1_cmd;
+            fig2_cmd;
+            table2_cmd;
+            ablation_patience_cmd;
+            ablation_segment_cmd;
+            ablation_garbage_cmd;
+            ablation_reclaim_cmd;
+            latency_cmd;
+            list_cmd;
+            all_cmd;
+          ]))

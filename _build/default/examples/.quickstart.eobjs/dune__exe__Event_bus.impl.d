@@ -1,0 +1,1 @@
+examples/event_bus.ml: Array Domain Int64 List Primitives Printf Sys Wfq

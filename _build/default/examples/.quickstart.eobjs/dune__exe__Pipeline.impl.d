@@ -1,0 +1,1 @@
+examples/pipeline.ml: Array Domain List Printf String Sys Wfq

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Domain Format Printf Wfq

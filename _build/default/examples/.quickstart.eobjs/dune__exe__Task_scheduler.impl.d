@@ -1,0 +1,1 @@
+examples/task_scheduler.ml: Array Atomic Domain Format List Printf Sys Wfq

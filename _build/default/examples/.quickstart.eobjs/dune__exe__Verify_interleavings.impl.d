@@ -1,0 +1,1 @@
+examples/verify_interleavings.ml: Array Int64 List Printf Simsched Sys

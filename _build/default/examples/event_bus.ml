@@ -1,0 +1,66 @@
+(* A telemetry event bus with real-time-ish constraints: many sensor
+   domains publish readings, one logger drains them.  Wait-freedom is
+   the point of this example — the paper singles out "mission critical
+   applications that have real-time constraints" (§1): a publisher's
+   enqueue finishes in a bounded number of its own steps no matter
+   what the logger or other sensors are doing, so a sensor can publish
+   from a deadline-bound loop.
+
+   The example measures per-publish step bounds empirically: worst
+   observed publish latency (in spin-clock ticks) under a deliberately
+   slow consumer.
+
+   Run with:  dune exec examples/event_bus.exe -- [events-per-sensor] *)
+
+module Q = Wfq.Wfqueue
+
+type event = { sensor : int; seq : int; value : float }
+
+let () =
+  let per_sensor = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 20_000 in
+  let sensors = 4 in
+  let bus : event Q.t = Q.create ~segment_shift:8 () in
+  let worst_ns = Array.make sensors 0.0 in
+
+  let publishers =
+    List.init sensors (fun s ->
+        Domain.spawn (fun () ->
+            let h = Q.register bus in
+            let rng = Primitives.Splitmix64.create (Int64.of_int (s + 1)) in
+            for seq = 1 to per_sensor do
+              let v = Primitives.Splitmix64.next_float rng in
+              let t0 = Primitives.Clock.now () in
+              Q.enqueue bus h { sensor = s; seq; value = v };
+              let dt = (Primitives.Clock.now () -. t0) *. 1e9 in
+              if dt > worst_ns.(s) then worst_ns.(s) <- dt
+            done))
+  in
+
+  let logger =
+    Domain.spawn (fun () ->
+        let h = Q.register bus in
+        let received = Array.make sensors 0 in
+        let count = ref 0 in
+        let total = sensors * per_sensor in
+        while !count < total do
+          match Q.dequeue bus h with
+          | Some e ->
+            (* the bus preserves per-sensor order *)
+            assert (e.seq = received.(e.sensor) + 1);
+            received.(e.sensor) <- e.seq;
+            incr count
+          | None -> Domain.cpu_relax ()
+        done;
+        received)
+  in
+  List.iter Domain.join publishers;
+  let received = Domain.join logger in
+  Printf.printf "event bus: %d sensors x %d events all delivered in per-sensor order\n" sensors
+    per_sensor;
+  Array.iteri (fun s n -> assert (n = per_sensor) |> fun () -> ignore s) received;
+  Array.iteri
+    (fun s w ->
+      Printf.printf "  sensor %d worst-case publish latency: %.0f ns (includes preemption)\n" s w)
+    worst_ns;
+  Printf.printf "segments: %d live, %d reclaimed, %d recycled\n" (Q.live_segments bus)
+    (Q.reclaimed_segments bus) (Q.recycled_segments bus)

@@ -1,0 +1,49 @@
+(* Quickstart: the smallest useful program.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   A wait-free multi-producer multi-consumer FIFO queue shared by
+   several domains.  Each domain registers a handle once (its slot in
+   the helping ring) and then enqueues/dequeues through it; the
+   convenience [push]/[pop] wrappers manage handles automatically at a
+   small cost. *)
+
+module Q = Wfq.Wfqueue
+
+let () =
+  let queue : int Q.t = Q.create () in
+
+  (* Explicit handles: one per domain, registered once. *)
+  let producer =
+    Domain.spawn (fun () ->
+        let h = Q.register queue in
+        for i = 1 to 10 do
+          Q.enqueue queue h i
+        done)
+  in
+  Domain.join producer;
+
+  let h = Q.register queue in
+  Printf.printf "drained:";
+  let rec drain () =
+    match Q.dequeue queue h with
+    | Some v ->
+      Printf.printf " %d" v;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  print_newline ();
+
+  (* Implicit handles: fine for casual use. *)
+  Q.push queue 42;
+  (match Q.pop queue with
+  | Some v -> Printf.printf "popped %d\n" v
+  | None -> assert false);
+
+  (* Every operation completes in a bounded number of steps even if
+     other domains stall mid-operation: that is the wait-freedom the
+     paper provides, and it costs about one fetch-and-add per
+     operation on the fast path. *)
+  Printf.printf "path stats after this session: %s\n"
+    (Format.asprintf "%a" Wfq.Op_stats.pp (Q.stats queue))

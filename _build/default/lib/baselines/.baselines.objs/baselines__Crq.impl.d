@@ -1,0 +1,1 @@
+lib/baselines/crq.ml: Crq_algo Primitives

@@ -1,0 +1,1 @@
+lib/baselines/crq.mli: Atomic

@@ -1,0 +1,1 @@
+lib/baselines/crq_algo.ml: Array Primitives

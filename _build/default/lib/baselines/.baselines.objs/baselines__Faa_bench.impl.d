@@ -1,0 +1,1 @@
+lib/baselines/faa_bench.ml: Atomic

@@ -1,0 +1,1 @@
+lib/baselines/kp_queue.ml: Array Atomic

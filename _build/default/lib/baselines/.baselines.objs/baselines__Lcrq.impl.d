@@ -1,0 +1,1 @@
+lib/baselines/lcrq.ml: Lcrq_algo Primitives

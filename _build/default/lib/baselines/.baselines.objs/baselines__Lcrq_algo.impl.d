@@ -1,0 +1,1 @@
+lib/baselines/lcrq_algo.ml: Crq_algo Primitives

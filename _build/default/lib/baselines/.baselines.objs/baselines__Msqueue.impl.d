@@ -1,0 +1,1 @@
+lib/baselines/msqueue.ml: Msqueue_algo Primitives

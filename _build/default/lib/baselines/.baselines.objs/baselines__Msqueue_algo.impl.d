@@ -1,0 +1,1 @@
+lib/baselines/msqueue_algo.ml: Primitives

@@ -1,0 +1,1 @@
+lib/baselines/mutex_queue.mli:

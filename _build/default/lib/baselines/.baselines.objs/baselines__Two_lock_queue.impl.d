@@ -1,0 +1,1 @@
+lib/baselines/two_lock_queue.ml: Atomic Mutex

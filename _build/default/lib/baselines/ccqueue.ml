@@ -1,0 +1,41 @@
+(* [next] is atomic because it is the only field crossing between the
+   two combining instances (an enqueue combiner publishes a node that
+   a dequeue combiner consumes); everything else is serialized within
+   one instance, whose handoff already provides happens-before. *)
+type 'a node = { mutable value : 'a option; next : 'a node option Atomic.t }
+
+type 'a t = {
+  mutable head : 'a node; (* touched only inside deq-side combining *)
+  mutable tail : 'a node; (* touched only inside enq-side combining *)
+  enq_side : Sync.Ccsynch.t;
+  deq_side : Sync.Ccsynch.t;
+}
+
+type 'a handle = { eh : Sync.Ccsynch.handle; dh : Sync.Ccsynch.handle }
+
+let create ?max_combine () =
+  let dummy = { value = None; next = Atomic.make None } in
+  {
+    head = dummy;
+    tail = dummy;
+    enq_side = Sync.Ccsynch.create ?max_combine ();
+    deq_side = Sync.Ccsynch.create ?max_combine ();
+  }
+
+let register t = { eh = Sync.Ccsynch.handle t.enq_side; dh = Sync.Ccsynch.handle t.deq_side }
+
+let enqueue t h v =
+  let n = { value = Some v; next = Atomic.make None } in
+  Sync.Ccsynch.apply t.enq_side h.eh (fun () ->
+      Atomic.set t.tail.next (Some n);
+      t.tail <- n)
+
+let dequeue t h =
+  Sync.Ccsynch.apply t.deq_side h.dh (fun () ->
+      match Atomic.get t.head.next with
+      | None -> None
+      | Some n ->
+        let v = n.value in
+        n.value <- None; (* n becomes the new dummy *)
+        t.head <- n;
+        v)

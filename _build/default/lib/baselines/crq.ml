@@ -1,0 +1,2 @@
+(* Hardware-atomics instantiation; see crq.mli. *)
+include Crq_algo.Make (Primitives.Atomic_prims.Real)

@@ -1,0 +1,30 @@
+(** A single Circular Ring Queue (CRQ) from Morrison & Afek's LCRQ
+    (PPoPP 2013) — one bounded FAA-based ring.
+
+    Each ring slot holds an atomic triple (safe bit, index, value)
+    that the original updates with double-width CAS (CAS2).  Here a
+    slot is one [Atomic.t] containing an immutable record: a load is
+    an atomic snapshot and a CAS against the loaded record is the CAS2
+    transition (DESIGN.md §2.3).
+
+    A CRQ can {e close} (enqueues return [`Closed]) when it fills or
+    when an enqueuer starves; {!Lcrq} then links a fresh CRQ behind
+    it.  Exposed separately from {!Lcrq} for unit testing. *)
+
+type 'a t
+
+val create : size:int -> 'a t
+(** [size] must be a power of two ≥ 2. *)
+
+val enqueue : 'a t -> 'a -> [ `Ok | `Closed ]
+val dequeue : 'a t -> 'a option
+
+val close : 'a t -> unit
+(** Force the closed bit (normally set internally). *)
+
+val is_closed : 'a t -> bool
+
+val next : 'a t -> 'a t option Atomic.t
+(** The link field used by {!Lcrq}. *)
+
+val size : 'a t -> int

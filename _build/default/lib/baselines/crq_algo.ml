@@ -1,0 +1,122 @@
+(* The CRQ ring as a functor over atomic primitives, so the model
+   checker can drive it on simulated atomics; [Crq] instantiates it on
+   hardware atomics. *)
+
+module Make (A : Primitives.Atomic_prims.S) = struct
+(* One slot: the original's (safe : 1, idx : 63, val : 64) CAS2-updated
+   pair of words, as an immutable record behind one A. *)
+type 'a slot = { safe : bool; idx : int; value : 'a option }
+
+type 'a t = {
+  head : int A.t;
+  tail : int A.t; (* bit [closed_shift] is the closed flag *)
+  next : 'a t option A.t;
+  ring : 'a slot A.t array;
+  size : int;
+}
+
+let closed_shift = 60
+let closed_bit = 1 lsl closed_shift
+let index_mask = closed_bit - 1
+
+(* How many failed acquisition attempts an enqueuer tolerates before
+   closing the ring (starvation cutoff; the original uses a similar
+   small constant). *)
+let close_tries = 10
+
+let create ~size =
+  assert (size >= 2 && size land (size - 1) = 0);
+  {
+    head = A.make 0;
+    tail = A.make 0;
+    next = A.make None;
+    ring = Array.init size (fun i -> A.make { safe = true; idx = i; value = None });
+    size;
+  }
+
+let next t = t.next
+let size t = t.size
+
+let rec close t =
+  let cur = A.get t.tail in
+  if cur land closed_bit = 0 && not (A.compare_and_set t.tail cur (cur lor closed_bit))
+  then close t
+
+let is_closed t = A.get t.tail land closed_bit <> 0
+
+let enqueue t v =
+  let rec attempt tries =
+    let raw = A.fetch_and_add t.tail 1 in
+    if raw land closed_bit <> 0 then `Closed
+    else begin
+      let i = raw land index_mask in
+      let slot = t.ring.(i land (t.size - 1)) in
+      let s = A.get slot in
+      let acquired =
+        match s.value with
+        | None when s.idx <= i && (s.safe || A.get t.head <= i) ->
+          A.compare_and_set slot s { safe = true; idx = i; value = Some v }
+        | None | Some _ -> false
+      in
+      if acquired then `Ok
+      else if i - A.get t.head >= t.size || tries + 1 >= close_tries then begin
+        close t;
+        `Closed
+      end
+      else attempt (tries + 1)
+    end
+  in
+  attempt 0
+
+(* Repair head > tail inversions left by dequeuers overshooting an
+   empty ring, so later enqueues do not starve. *)
+let rec fix_state t =
+  let h = A.get t.head in
+  let raw_tail = A.get t.tail in
+  let tl = raw_tail land index_mask in
+  if A.get t.head = h && h > tl then begin
+    let repaired = h lor (raw_tail land closed_bit) in
+    if not (A.compare_and_set t.tail raw_tail repaired) then fix_state t
+  end
+
+let dequeue t =
+  let rec attempt () =
+    let h = A.fetch_and_add t.head 1 in
+    let slot = t.ring.(h land (t.size - 1)) in
+    let rec transition () =
+      let s = A.get slot in
+      if s.idx > h then `Miss
+      else begin
+        match s.value with
+        | Some v ->
+          if s.idx = h then begin
+            (* dequeue transition: empty the slot for round h+size *)
+            if A.compare_and_set slot s { safe = s.safe; idx = h + t.size; value = None }
+            then `Got v
+            else transition ()
+          end
+          else begin
+            (* value from an older round: mark unsafe so its enqueuer
+               cannot be dequeued at the wrong index *)
+            if A.compare_and_set slot s { s with safe = false } then `Miss
+            else transition ()
+          end
+        | None ->
+          (* advance the empty slot past us to block a late enqueuer *)
+          if A.compare_and_set slot s { safe = s.safe; idx = h + t.size; value = None }
+          then `Miss
+          else transition ()
+      end
+    in
+    match transition () with
+    | `Got v -> Some v
+    | `Miss ->
+      if A.get t.tail land index_mask <= h + 1 then begin
+        fix_state t;
+        None
+      end
+      else attempt ()
+  in
+  attempt ()
+
+end

@@ -1,0 +1,23 @@
+type 'a t = {
+  enq_count : int Atomic.t;
+  deq_count : int Atomic.t;
+  witness : 'a option Atomic.t;
+}
+
+type 'a handle = unit
+
+let create () = { enq_count = Atomic.make 0; deq_count = Atomic.make 0; witness = Atomic.make None }
+let register _t = ()
+
+let enqueue t () v =
+  (match Atomic.get t.witness with
+  | None -> ignore (Atomic.compare_and_set t.witness None (Some v))
+  | Some _ -> ());
+  ignore (Atomic.fetch_and_add t.enq_count 1)
+
+let dequeue t () =
+  ignore (Atomic.fetch_and_add t.deq_count 1);
+  Atomic.get t.witness
+
+let enqueue_count t = Atomic.get t.enq_count
+let dequeue_count t = Atomic.get t.deq_count

@@ -1,0 +1,23 @@
+(** The paper's FAA microbenchmark (§5): "simulates enqueue and
+    dequeue operations with FAA primitives on two shared variables".
+
+    {b Not a queue}: dequeue returns a witness value without any FIFO
+    semantics.  It exists purely as the practical upper bound on the
+    throughput of any FAA-based queue, plotted alongside the real
+    queues in Figure 2. *)
+
+type 'a t
+type 'a handle
+
+val create : unit -> 'a t
+val register : 'a t -> 'a handle
+
+val enqueue : 'a t -> 'a handle -> 'a -> unit
+(** One FAA on the enqueue counter. *)
+
+val dequeue : 'a t -> 'a handle -> 'a option
+(** One FAA on the dequeue counter; returns the first value ever
+    enqueued (or [None] before any enqueue). *)
+
+val enqueue_count : 'a t -> int
+val dequeue_count : 'a t -> int

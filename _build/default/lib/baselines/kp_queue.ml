@@ -1,0 +1,193 @@
+(* Wait-free queue of Kogan & Petrank, "Wait-Free Queues With Multiple
+   Enqueuers and Dequeuers" (PPoPP 2011), ported to OCaml atomics.
+
+   Operation descriptors are immutable records swapped atomically in
+   the announcement array, so the algorithm's CAS(state[tid], ...)
+   steps are physical-equality CASes on freshly allocated descriptors
+   (ABA-safe under GC). *)
+
+type 'a node = {
+  value : 'a option; (* None only in the dummy *)
+  next : 'a node option Atomic.t;
+  enq_tid : int;
+  deq_tid : int Atomic.t; (* -1 when unclaimed *)
+}
+
+type 'a op_desc = {
+  phase : int;
+  pending : bool;
+  is_enqueue : bool;
+  node : 'a node option;
+      (* for enqueues: the node being inserted; for dequeues: the head
+         node observed (whose successor carries the value), None for
+         empty *)
+}
+
+type 'a t = {
+  head : 'a node Atomic.t;
+  tail : 'a node Atomic.t;
+  state : 'a op_desc Atomic.t array;
+  registered : int Atomic.t;
+}
+
+type 'a handle = { tid : int }
+
+let new_node ?(enq_tid = -1) value =
+  { value; next = Atomic.make None; enq_tid; deq_tid = Atomic.make (-1) }
+
+let idle_desc = { phase = -1; pending = false; is_enqueue = true; node = None }
+
+let create ?(max_threads = 128) () =
+  assert (max_threads >= 1);
+  let dummy = new_node None in
+  {
+    head = Atomic.make dummy;
+    tail = Atomic.make dummy;
+    state = Array.init max_threads (fun _ -> Atomic.make idle_desc);
+    registered = Atomic.make 0;
+  }
+
+let register q =
+  let tid = Atomic.fetch_and_add q.registered 1 in
+  if tid >= Array.length q.state then failwith "Kp_queue.register: too many threads";
+  { tid }
+
+let max_phase q =
+  Array.fold_left (fun acc st -> max acc (Atomic.get st).phase) (-1) q.state
+
+let is_still_pending q tid phase =
+  let d = Atomic.get q.state.(tid) in
+  d.pending && d.phase <= phase
+
+(* Complete the enqueue whose node is linked after the current tail:
+   mark its descriptor done, then swing the tail. *)
+let help_finish_enq q =
+  let last = Atomic.get q.tail in
+  match Atomic.get last.next with
+  | None -> ()
+  | Some next ->
+    let tid = next.enq_tid in
+    if tid >= 0 then begin
+      let cur_desc = Atomic.get q.state.(tid) in
+      if
+        last == Atomic.get q.tail
+        && (match cur_desc.node with Some n -> n == next | None -> false)
+      then begin
+        let new_desc =
+          { phase = cur_desc.phase; pending = false; is_enqueue = true; node = Some next }
+        in
+        ignore (Atomic.compare_and_set q.state.(tid) cur_desc new_desc)
+      end;
+      ignore (Atomic.compare_and_set q.tail last next)
+    end
+
+let rec help_enq q tid phase =
+  if is_still_pending q tid phase then begin
+    let last = Atomic.get q.tail in
+    let next = Atomic.get last.next in
+    if last == Atomic.get q.tail then begin
+      (match next with
+      | None ->
+        if is_still_pending q tid phase then begin
+          match (Atomic.get q.state.(tid)).node with
+          | Some node -> ignore (Atomic.compare_and_set last.next None (Some node))
+          | None -> ()
+        end
+      | Some _ -> ());
+      help_finish_enq q
+    end;
+    help_enq q tid phase
+  end
+
+(* Complete the dequeue that claimed the current head: transfer the
+   observed head into its descriptor, then swing the head. *)
+let help_finish_deq q =
+  let first = Atomic.get q.head in
+  let next = Atomic.get first.next in
+  let tid = Atomic.get first.deq_tid in
+  if tid >= 0 then begin
+    let cur_desc = Atomic.get q.state.(tid) in
+    (match next with
+    | Some next_node ->
+      if first == Atomic.get q.head then begin
+        if cur_desc.pending && not cur_desc.is_enqueue then begin
+          let new_desc =
+            { phase = cur_desc.phase; pending = false; is_enqueue = false; node = cur_desc.node }
+          in
+          ignore (Atomic.compare_and_set q.state.(tid) cur_desc new_desc)
+        end;
+        ignore (Atomic.compare_and_set q.head first next_node)
+      end
+    | None -> ())
+  end
+
+let rec help_deq q tid phase =
+  if is_still_pending q tid phase then begin
+    let first = Atomic.get q.head in
+    let last = Atomic.get q.tail in
+    let next = Atomic.get first.next in
+    if first == Atomic.get q.head then begin
+      if first == last then begin
+        match next with
+        | None ->
+          (* empty: close the request with node = None *)
+          let cur_desc = Atomic.get q.state.(tid) in
+          if last == Atomic.get q.tail && is_still_pending q tid phase then begin
+            let new_desc =
+              { phase = cur_desc.phase; pending = false; is_enqueue = false; node = None }
+            in
+            ignore (Atomic.compare_and_set q.state.(tid) cur_desc new_desc)
+          end
+        | Some _ -> help_finish_enq q (* tail is lagging *)
+      end
+      else begin
+        let cur_desc = Atomic.get q.state.(tid) in
+        let proceed =
+          if not (cur_desc.pending && not cur_desc.is_enqueue) then false
+          else if
+            first == Atomic.get q.head
+            && (match cur_desc.node with Some n -> n != first | None -> true)
+          then begin
+            (* record the head we intend to dequeue *)
+            let new_desc =
+              { phase = cur_desc.phase; pending = true; is_enqueue = false; node = Some first }
+            in
+            Atomic.compare_and_set q.state.(tid) cur_desc new_desc
+          end
+          else true
+        in
+        if proceed then begin
+          ignore (Atomic.compare_and_set first.deq_tid (-1) tid);
+          help_finish_deq q
+        end
+      end
+    end;
+    help_deq q tid phase
+  end
+
+let help q phase =
+  Array.iteri
+    (fun tid st ->
+      let desc = Atomic.get st in
+      if desc.pending && desc.phase <= phase then
+        if desc.is_enqueue then help_enq q tid desc.phase else help_deq q tid desc.phase)
+    q.state
+
+let enqueue q h v =
+  let phase = max_phase q + 1 in
+  let node = new_node ~enq_tid:h.tid (Some v) in
+  Atomic.set q.state.(h.tid) { phase; pending = true; is_enqueue = true; node = Some node };
+  help q phase;
+  help_finish_enq q
+
+let dequeue q h =
+  let phase = max_phase q + 1 in
+  Atomic.set q.state.(h.tid) { phase; pending = true; is_enqueue = false; node = None };
+  help q phase;
+  help_finish_deq q;
+  match (Atomic.get q.state.(h.tid)).node with
+  | None -> None
+  | Some node -> (
+    match Atomic.get node.next with
+    | Some next -> next.value
+    | None -> (* the claimed head always has a successor *) assert false)

@@ -1,0 +1,27 @@
+(** Kogan & Petrank's wait-free queue (PPoPP 2011), the first
+    practical wait-free MPMC queue and the prior wait-free design the
+    paper discusses in §2.
+
+    An MS-Queue list augmented with a phase-numbered announcement
+    array: every operation announces itself with a phase higher than
+    all it has seen, then helps all pending operations with
+    lower-or-equal phases before (and while) completing its own — so
+    every operation completes within a bounded number of steps, at the
+    cost of all-to-all helping traffic on every operation.  The paper
+    notes its performance is at best that of MS-Queue; it is included
+    here to make that comparison concrete.
+
+    The announcement array is sized at creation: at most
+    [max_threads] handles can register. *)
+
+type 'a t
+type 'a handle
+
+val create : ?max_threads:int -> unit -> 'a t
+(** [max_threads] defaults to 128 (the OCaml domain limit). *)
+
+val register : 'a t -> 'a handle
+(** Raises [Failure] if [max_threads] handles already exist. *)
+
+val enqueue : 'a t -> 'a handle -> 'a -> unit
+val dequeue : 'a t -> 'a handle -> 'a option

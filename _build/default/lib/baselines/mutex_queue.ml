@@ -1,0 +1,22 @@
+type 'a t = { lock : Mutex.t; q : 'a Queue.t }
+type 'a handle = unit
+
+let create () = { lock = Mutex.create (); q = Queue.create () }
+let register _t = ()
+
+let enqueue t () v =
+  Mutex.lock t.lock;
+  Queue.push v t.q;
+  Mutex.unlock t.lock
+
+let dequeue t () =
+  Mutex.lock t.lock;
+  let v = Queue.take_opt t.q in
+  Mutex.unlock t.lock;
+  v
+
+let length t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.q in
+  Mutex.unlock t.lock;
+  n

@@ -1,0 +1,11 @@
+(** A single global mutex around [Stdlib.Queue]: the naive blocking
+    baseline, useful as a sanity floor in the evaluation. *)
+
+type 'a t
+type 'a handle
+
+val create : unit -> 'a t
+val register : 'a t -> 'a handle
+val enqueue : 'a t -> 'a handle -> 'a -> unit
+val dequeue : 'a t -> 'a handle -> 'a option
+val length : 'a t -> int

@@ -1,0 +1,41 @@
+(* [next] is atomic because when the queue is empty the dequeuer reads
+   the dummy's next while an enqueuer writes it; the two mutexes are
+   distinct so that access is a race that needs a synchronized
+   location (the original algorithm assumes atomic word access). *)
+type 'a node = { mutable value : 'a option; next : 'a node option Atomic.t }
+
+type 'a t = {
+  mutable head : 'a node;
+  mutable tail : 'a node;
+  head_lock : Mutex.t;
+  tail_lock : Mutex.t;
+}
+
+type 'a handle = unit
+
+let create () =
+  let dummy = { value = None; next = Atomic.make None } in
+  { head = dummy; tail = dummy; head_lock = Mutex.create (); tail_lock = Mutex.create () }
+
+let register _t = ()
+
+let enqueue t () v =
+  let n = { value = Some v; next = Atomic.make None } in
+  Mutex.lock t.tail_lock;
+  Atomic.set t.tail.next (Some n);
+  t.tail <- n;
+  Mutex.unlock t.tail_lock
+
+let dequeue t () =
+  Mutex.lock t.head_lock;
+  let v =
+    match Atomic.get t.head.next with
+    | None -> None
+    | Some n ->
+      let v = n.value in
+      n.value <- None; (* the node becomes the new dummy *)
+      t.head <- n;
+      v
+  in
+  Mutex.unlock t.head_lock;
+  v

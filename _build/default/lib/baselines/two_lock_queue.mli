@@ -1,0 +1,14 @@
+(** Michael & Scott's two-lock blocking queue (PODC 1996).
+
+    One lock protects the head, another the tail, so one enqueuer and
+    one dequeuer can proceed concurrently.  A blocking reference point
+    below CC-Queue: it serializes all enqueuers against each other and
+    all dequeuers against each other with plain mutexes. *)
+
+type 'a t
+type 'a handle
+
+val create : unit -> 'a t
+val register : 'a t -> 'a handle
+val enqueue : 'a t -> 'a handle -> 'a -> unit
+val dequeue : 'a t -> 'a handle -> 'a option

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array List Platform Plot Printf Queues Report Runner Stats Wfq Workload

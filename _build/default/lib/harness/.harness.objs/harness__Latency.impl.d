@@ -1,0 +1,1 @@
+lib/harness/latency.ml: Array Domain Int64 List Primitives Printf Queues Report Stats Sync Workload

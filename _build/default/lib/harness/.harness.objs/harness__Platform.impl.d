@@ -1,0 +1,1 @@
+lib/harness/platform.ml: Format List Option String Sys

@@ -1,0 +1,1 @@
+lib/harness/plot.ml: Array Buffer Bytes Float List Printf String

@@ -1,0 +1,1 @@
+lib/harness/queues.ml: Baselines List Printf Wfq

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Domain Float List Primitives Printf Queues Stats Sync Workload

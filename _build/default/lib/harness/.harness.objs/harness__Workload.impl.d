@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Int64 Primitives Printf Queues

@@ -1,0 +1,73 @@
+type percentiles = {
+  p50_ns : float;
+  p90_ns : float;
+  p99_ns : float;
+  p999_ns : float;
+  max_ns : float;
+  samples : int;
+}
+
+let measure (factory : Queues.factory) ~threads ~ops_per_thread ~kind =
+  let instance = factory.Queues.make () in
+  let barrier = Sync.Barrier.create threads in
+  (* one log-linear histogram per thread: O(1) recording, no
+     per-sample allocation, merged after the run *)
+  let histograms = Array.init threads (fun _ -> Stats.Histogram.create ()) in
+  let workers =
+    List.init threads (fun t ->
+        Domain.spawn (fun () ->
+            let ops = instance.Queues.register () in
+            let rng = Primitives.Splitmix64.create (Int64.of_int (t + 1)) in
+            let mine = histograms.(t) in
+            Sync.Barrier.await barrier;
+            for i = 0 to ops_per_thread - 1 do
+              let t0 = Primitives.Clock.now_ns () in
+              (match kind with
+              | Workload.Pairs ->
+                if i land 1 = 0 then ops.Queues.enqueue i else ignore (ops.Queues.dequeue ())
+              | Workload.Fifty_fifty ->
+                if Primitives.Splitmix64.bool rng then ops.Queues.enqueue i
+                else ignore (ops.Queues.dequeue ()));
+              Stats.Histogram.add mine
+                (Int64.to_float (Int64.sub (Primitives.Clock.now_ns ()) t0))
+            done))
+  in
+  List.iter Domain.join workers;
+  let all = Stats.Histogram.create () in
+  Array.iter (fun h -> Stats.Histogram.merge_into ~into:all h) histograms;
+  {
+    p50_ns = Stats.Histogram.percentile all 50.0;
+    p90_ns = Stats.Histogram.percentile all 90.0;
+    p99_ns = Stats.Histogram.percentile all 99.0;
+    p999_ns = Stats.Histogram.percentile all 99.9;
+    max_ns = Stats.Histogram.max_recorded all;
+    samples = Stats.Histogram.count all;
+  }
+
+let experiment ?queues ?(threads = 8) ?(ops_per_thread = 20_000) () =
+  let queues = match queues with Some qs -> qs | None -> Queues.figure2_set in
+  let t =
+    Report.create
+      ~header:[ "queue"; "p50 ns"; "p90 ns"; "p99 ns"; "p99.9 ns"; "max ns"; "samples" ]
+  in
+  List.iter
+    (fun (f : Queues.factory) ->
+      let p = measure f ~threads ~ops_per_thread ~kind:Workload.Fifty_fifty in
+      Report.add_row t
+        [
+          f.Queues.name;
+          Printf.sprintf "%.0f" p.p50_ns;
+          Printf.sprintf "%.0f" p.p90_ns;
+          Printf.sprintf "%.0f" p.p99_ns;
+          Printf.sprintf "%.0f" p.p999_ns;
+          Printf.sprintf "%.0f" p.max_ns;
+          string_of_int p.samples;
+        ])
+    queues;
+  Report.print
+    ~title:
+      (Printf.sprintf
+         "Latency tails (50%%-enqueues, %d threads): the wait-freedom 'predictability' claim"
+         threads)
+    t;
+  t

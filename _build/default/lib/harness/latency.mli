@@ -1,0 +1,33 @@
+(** Per-operation latency distributions.
+
+    The paper's pitch is {e predictable} performance: wait-freedom
+    bounds every operation's steps, so the latency {e tail} — not the
+    mean — is where the guarantee shows.  This harness records each
+    operation's wall-clock latency under a contended mixed workload
+    and reports percentiles; blocking designs (CC-Queue, locks) show
+    scheduling-quantum spikes at the tail under oversubscription,
+    while the non-blocking queues' tails stay bounded by their own
+    step counts (plus unavoidable preemption of the measuring thread
+    itself). *)
+
+type percentiles = {
+  p50_ns : float;
+  p90_ns : float;
+  p99_ns : float;
+  p999_ns : float;
+  max_ns : float;
+  samples : int;
+}
+
+val measure :
+  Queues.factory -> threads:int -> ops_per_thread:int -> kind:Workload.kind -> percentiles
+(** Run the workload with per-op timing on every thread and merge all
+    samples.  Timing uses the wall clock around each operation; on an
+    oversubscribed host a preemption {e of the measuring thread}
+    inflates a sample for every queue alike, so compare queues, not
+    absolute values. *)
+
+val experiment :
+  ?queues:Queues.factory list -> ?threads:int -> ?ops_per_thread:int -> unit -> Report.t
+(** The latency-tail table across queues (8 threads, 20k ops each by
+    default), printed and returned. *)

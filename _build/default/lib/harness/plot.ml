@@ -1,0 +1,80 @@
+type series = { label : string; points : float array }
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&'; '~'; '$' |]
+
+let render ?(width = 64) ?(height = 16) ~x_labels ~y_label series =
+  let n = List.length x_labels in
+  if n = 0 then invalid_arg "Plot.render: no x positions";
+  List.iter
+    (fun s ->
+      if Array.length s.points <> n then
+        invalid_arg
+          (Printf.sprintf "Plot.render: series %S has %d points for %d x positions" s.label
+             (Array.length s.points) n))
+    series;
+  let y_max =
+    List.fold_left (fun acc s -> Array.fold_left Float.max acc s.points) 1e-9 series
+  in
+  (* canvas rows are top-down; row 0 = y_max, row height-1 = 0 *)
+  let canvas = Array.make_matrix height width ' ' in
+  let x_of i = if n = 1 then width / 2 else i * (width - 1) / (n - 1) in
+  let y_of v =
+    let frac = Float.max 0.0 (Float.min 1.0 (v /. y_max)) in
+    let row = int_of_float (Float.round (float_of_int (height - 1) *. (1.0 -. frac))) in
+    max 0 (min (height - 1) row)
+  in
+  (* draw connecting segments with linear interpolation, then mark the
+     data points with the series glyph so points override lines *)
+  List.iteri
+    (fun si s ->
+      let glyph = glyphs.(si mod Array.length glyphs) in
+      for i = 0 to n - 2 do
+        let x0 = x_of i and x1 = x_of (i + 1) in
+        let y0 = y_of s.points.(i) and y1 = y_of s.points.(i + 1) in
+        for x = x0 to x1 do
+          let t = if x1 = x0 then 0.0 else float_of_int (x - x0) /. float_of_int (x1 - x0) in
+          let y = int_of_float (Float.round (float_of_int y0 +. (t *. float_of_int (y1 - y0)))) in
+          if canvas.(y).(x) = ' ' then canvas.(y).(x) <- '.'
+        done
+      done;
+      Array.iteri (fun i v -> canvas.(y_of v).(x_of i) <- glyph) s.points)
+    series;
+  let buf = Buffer.create ((height + 3) * (width + 12)) in
+  Buffer.add_string buf (Printf.sprintf "%s (max %.3f)\n" y_label y_max);
+  Array.iteri
+    (fun row line ->
+      let y_val = y_max *. float_of_int (height - 1 - row) /. float_of_int (height - 1) in
+      Buffer.add_string buf (Printf.sprintf "%8.2f |" y_val);
+      Buffer.add_string buf (String.init width (fun c -> line.(c)));
+      Buffer.add_char buf '\n')
+    canvas;
+  Buffer.add_string buf (String.make 9 ' ');
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  (* x tick labels, left-aligned at their positions *)
+  let labels = Array.of_list x_labels in
+  let tick_line = Bytes.make (width + 16) ' ' in
+  Array.iteri
+    (fun i lbl ->
+      let pos = 10 + x_of i in
+      String.iteri
+        (fun j ch -> if pos + j < Bytes.length tick_line then Bytes.set tick_line (pos + j) ch)
+        lbl)
+    labels;
+  Buffer.add_string buf (Bytes.to_string tick_line);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let print ?width ?height ~title ~x_labels ~y_label series =
+  print_newline ();
+  print_endline title;
+  print_endline (String.make (String.length title) '-');
+  print_string (render ?width ?height ~x_labels ~y_label series);
+  List.iteri
+    (fun si s ->
+      Printf.printf "  %c = %s%s" glyphs.(si mod Array.length glyphs) s.label
+        (if (si + 1) mod 4 = 0 then "\n" else ""))
+    series;
+  print_newline ();
+  flush stdout

@@ -1,0 +1,35 @@
+(** ASCII line plots for the figure reproductions.
+
+    The paper's Figure 2 is a set of throughput-vs-threads line
+    charts; tables carry the numbers, but the figure's value is the
+    {e shape} (who wins, where lines cross).  This renderer draws
+    multi-series plots in plain text so the benchmark logs contain the
+    figures themselves.
+
+    The x axis is categorical (thread counts); the y axis is linear
+    from 0 to the data maximum.  Each series gets a distinct glyph;
+    collisions print the glyph of the later series. *)
+
+type series = { label : string; points : float array }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  x_labels:string list ->
+  y_label:string ->
+  series list ->
+  string
+(** [render ~x_labels ~y_label series] draws all series over the same
+    x positions ([x_labels] and every series must have equal length;
+    raises [Invalid_argument] otherwise).  [width] and [height]
+    (default 64×16) size the plot area excluding axes. *)
+
+val print :
+  ?width:int ->
+  ?height:int ->
+  title:string ->
+  x_labels:string list ->
+  y_label:string ->
+  series list ->
+  unit
+(** {!render} to stdout under a title, with a legend line. *)

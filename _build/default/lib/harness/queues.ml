@@ -1,0 +1,152 @@
+type ops = { enqueue : int -> unit; dequeue : unit -> int option }
+
+type instance = {
+  iname : string;
+  register : unit -> ops;
+  op_stats : unit -> Wfq.Op_stats.t option;
+  reset_op_stats : unit -> unit;
+}
+
+type factory = {
+  name : string;
+  description : string;
+  is_real_queue : bool;
+  make : unit -> instance;
+}
+
+let wf ?(patience = 10) ?segment_shift ?max_garbage ?reclamation ?name () =
+  let name = match name with Some n -> n | None -> Printf.sprintf "wf-%d" patience in
+  {
+    name;
+    description =
+      Printf.sprintf "wait-free queue (patience %d%s)" patience
+        (match reclamation with Some false -> ", reclamation off" | Some true | None -> "");
+    is_real_queue = true;
+    make =
+      (fun () ->
+        let q = Wfq.Wfqueue.create ~patience ?segment_shift ?max_garbage ?reclamation () in
+        {
+          iname = name;
+          register =
+            (fun () ->
+              let h = Wfq.Wfqueue.register q in
+              {
+                enqueue = (fun v -> Wfq.Wfqueue.enqueue q h v);
+                dequeue = (fun () -> Wfq.Wfqueue.dequeue q h);
+              });
+          op_stats = (fun () -> Some (Wfq.Wfqueue.stats q));
+          reset_op_stats = (fun () -> Wfq.Wfqueue.reset_stats q);
+        });
+  }
+
+let simple name description is_real_queue make_ops =
+  {
+    name;
+    description;
+    is_real_queue;
+    make =
+      (fun () ->
+        let register = make_ops () in
+        { iname = name; register; op_stats = (fun () -> None); reset_op_stats = ignore });
+  }
+
+let lcrq ?(ring_size = 4096) () =
+  simple "lcrq"
+    (Printf.sprintf "LCRQ, ring size %d (lock-free)" ring_size)
+    true
+    (fun () ->
+      let q = Baselines.Lcrq.create ~ring_size () in
+      fun () ->
+        let h = Baselines.Lcrq.register q in
+        {
+          enqueue = (fun v -> Baselines.Lcrq.enqueue q h v);
+          dequeue = (fun () -> Baselines.Lcrq.dequeue q h);
+        })
+
+let ccqueue =
+  simple "ccqueue" "CC-Queue, combining (blocking)" true (fun () ->
+      let q = Baselines.Ccqueue.create () in
+      fun () ->
+        let h = Baselines.Ccqueue.register q in
+        {
+          enqueue = (fun v -> Baselines.Ccqueue.enqueue q h v);
+          dequeue = (fun () -> Baselines.Ccqueue.dequeue q h);
+        })
+
+let msqueue =
+  simple "msqueue" "Michael-Scott queue (lock-free)" true (fun () ->
+      let q = Baselines.Msqueue.create () in
+      fun () ->
+        let h = Baselines.Msqueue.register q in
+        {
+          enqueue = (fun v -> Baselines.Msqueue.enqueue q h v);
+          dequeue = (fun () -> Baselines.Msqueue.dequeue q h);
+        })
+
+let two_lock =
+  simple "two-lock" "Michael-Scott two-lock queue (blocking)" true (fun () ->
+      let q = Baselines.Two_lock_queue.create () in
+      fun () ->
+        let h = Baselines.Two_lock_queue.register q in
+        {
+          enqueue = (fun v -> Baselines.Two_lock_queue.enqueue q h v);
+          dequeue = (fun () -> Baselines.Two_lock_queue.dequeue q h);
+        })
+
+let mutex =
+  simple "mutex" "global mutex around Stdlib.Queue (blocking)" true (fun () ->
+      let q = Baselines.Mutex_queue.create () in
+      fun () ->
+        let h = Baselines.Mutex_queue.register q in
+        {
+          enqueue = (fun v -> Baselines.Mutex_queue.enqueue q h v);
+          dequeue = (fun () -> Baselines.Mutex_queue.dequeue q h);
+        })
+
+let wf_llsc =
+  simple "wf-llsc" "wait-free queue with CAS-emulated FAA (the paper's Power7 setup; lock-free)"
+    true (fun () ->
+      let q = Wfq.Wfqueue_llsc.create () in
+      fun () ->
+        let h = Wfq.Wfqueue_llsc.register q in
+        {
+          enqueue = (fun v -> Wfq.Wfqueue_llsc.enqueue q h v);
+          dequeue = (fun () -> Wfq.Wfqueue_llsc.dequeue q h);
+        })
+
+let kp_queue =
+  simple "kp" "Kogan-Petrank queue (wait-free, phase-based helping)" true (fun () ->
+      let q = Baselines.Kp_queue.create ~max_threads:32 () in
+      fun () ->
+        let h = Baselines.Kp_queue.register q in
+        {
+          enqueue = (fun v -> Baselines.Kp_queue.enqueue q h v);
+          dequeue = (fun () -> Baselines.Kp_queue.dequeue q h);
+        })
+
+let faa =
+  simple "faa" "FAA microbenchmark (throughput upper bound, not a queue)" false (fun () ->
+      let q = Baselines.Faa_bench.create () in
+      fun () ->
+        let h = Baselines.Faa_bench.register q in
+        {
+          enqueue = (fun v -> Baselines.Faa_bench.enqueue q h v);
+          dequeue = (fun () -> Baselines.Faa_bench.dequeue q h);
+        })
+
+let all =
+  [
+    wf ~patience:10 ();
+    wf ~patience:0 ();
+    wf_llsc;
+    lcrq ();
+    ccqueue;
+    msqueue;
+    kp_queue;
+    two_lock;
+    mutex;
+    faa;
+  ]
+let figure2_set = [ wf ~patience:10 (); wf ~patience:0 (); lcrq (); ccqueue; msqueue; faa ]
+let find name = List.find_opt (fun f -> f.name = name) all
+let names () = List.map (fun f -> f.name) all

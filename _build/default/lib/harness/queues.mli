@@ -1,0 +1,38 @@
+(** Uniform access to every queue implementation under benchmark.
+
+    Each {!factory} creates fresh queue {!instance}s; each instance
+    hands out per-domain {!ops} (registering a handle where the
+    implementation needs one).  Payloads are [int], as in the paper's
+    benchmarks. *)
+
+type ops = { enqueue : int -> unit; dequeue : unit -> int option }
+
+type instance = {
+  iname : string;
+  register : unit -> ops; (* called once per participating domain *)
+  op_stats : unit -> Wfq.Op_stats.t option; (* path breakdown, WF only *)
+  reset_op_stats : unit -> unit;
+}
+
+type factory = {
+  name : string; (* key used on the command line, e.g. "wf-10" *)
+  description : string;
+  is_real_queue : bool; (* false for the FAA microbenchmark *)
+  make : unit -> instance;
+}
+
+val wf : ?patience:int -> ?segment_shift:int -> ?max_garbage:int -> ?reclamation:bool ->
+  ?name:string -> unit -> factory
+(** The paper's queue with explicit parameters (used by ablations). *)
+
+val all : factory list
+(** The evaluation set: wf-10, wf-0, wf-llsc (CAS-emulated FAA, the
+    paper's Power7 configuration), lcrq, ccqueue, msqueue, kp
+    (Kogan-Petrank), two-lock, mutex, faa. *)
+
+val figure2_set : factory list
+(** The queues plotted in Figure 2 (all of [all] except the extra
+    blocking baselines). *)
+
+val find : string -> factory option
+val names : unit -> string list

@@ -1,0 +1,50 @@
+type t = { header : string list; mutable rows : string list list (* reversed *) }
+
+let create ~header = { header; rows = [] }
+let add_row t row = t.rows <- row :: t.rows
+
+let widths t =
+  let all = t.header :: List.rev t.rows in
+  let cols = List.length t.header in
+  let w = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> if i < cols then w.(i) <- max w.(i) (String.length cell)) row)
+    all;
+  w
+
+let print ?title t =
+  (match title with
+  | Some s ->
+    print_newline ();
+    print_endline s;
+    print_endline (String.make (String.length s) '-')
+  | None -> ());
+  let w = widths t in
+  let print_row row =
+    List.iteri (fun i cell -> Printf.printf "%-*s  " w.(i) cell) row;
+    print_newline ()
+  in
+  print_row t.header;
+  print_row (List.mapi (fun i _ -> String.make w.(i) '=') t.header);
+  List.iter print_row (List.rev t.rows);
+  flush stdout
+
+let escape_csv cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let line row = String.concat "," (List.map escape_csv row) in
+  String.concat "\n" (line t.header :: List.map line (List.rev t.rows)) ^ "\n"
+
+let save_csv t ~path =
+  let oc = open_out path in
+  output_string oc (to_csv t);
+  close_out oc
+
+let cell_float f = Printf.sprintf "%.3f" f
+
+let cell_ci (iv : Stats.Student_t.interval) =
+  Printf.sprintf "%.3f ±%.3f" iv.Stats.Student_t.mean iv.Stats.Student_t.half_width

@@ -1,0 +1,19 @@
+(** Fixed-width text tables and CSV output for the experiment
+    drivers.  Every table/figure regeneration prints through this
+    module so EXPERIMENTS.md and the bench logs share one format. *)
+
+type t
+
+val create : header:string list -> t
+val add_row : t -> string list -> unit
+val print : ?title:string -> t -> unit
+(** Render to stdout with columns sized to the widest entry. *)
+
+val to_csv : t -> string
+val save_csv : t -> path:string -> unit
+
+val cell_float : float -> string
+(** Consistent float formatting ("12.345"). *)
+
+val cell_ci : Stats.Student_t.interval -> string
+(** "12.345 ±0.678" — the error bars of Figure 2. *)

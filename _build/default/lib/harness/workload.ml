@@ -1,0 +1,53 @@
+type kind = Pairs | Fifty_fifty
+
+let kind_of_string = function
+  | "pairs" -> Ok Pairs
+  | "half" | "50-enqueues" | "fifty" -> Ok Fifty_fifty
+  | s -> Error (Printf.sprintf "unknown workload %S (expected \"pairs\" or \"half\")" s)
+
+let kind_to_string = function Pairs -> "pairs" | Fifty_fifty -> "half"
+
+type spec = {
+  kind : kind;
+  total_ops : int;
+  work_ns : (int * int) option;
+  seed : int64;
+}
+
+let default kind = { kind; total_ops = 10_000_000; work_ns = Some (50, 100); seed = 0x5eedL }
+let scaled kind ~total_ops = { (default kind) with total_ops }
+
+let ops_per_thread spec ~threads =
+  assert (threads > 0);
+  let share = spec.total_ops / threads in
+  match spec.kind with
+  | Pairs -> share / 2 * 2 (* whole pairs *)
+  | Fifty_fifty -> share
+
+let think rng spec =
+  match spec.work_ns with
+  | None -> ()
+  | Some (lo, hi) -> Primitives.Spin_work.random_work rng ~min_ns:lo ~max_ns:hi
+
+let thread_body spec ~thread (ops : Queues.ops) ~threads () =
+  let rng = Primitives.Splitmix64.create (Int64.add spec.seed (Int64.of_int (thread * 7919))) in
+  let performed = ref 0 in
+  (match spec.kind with
+  | Pairs ->
+    let pairs = ops_per_thread spec ~threads / 2 in
+    for i = 0 to pairs - 1 do
+      ops.enqueue ((thread * 0x40000000) + i);
+      think rng spec;
+      ignore (ops.dequeue ());
+      think rng spec;
+      performed := !performed + 2
+    done
+  | Fifty_fifty ->
+    let count = ops_per_thread spec ~threads in
+    for i = 0 to count - 1 do
+      if Primitives.Splitmix64.bool rng then ops.enqueue ((thread * 0x40000000) + i)
+      else ignore (ops.dequeue ());
+      think rng spec;
+      incr performed
+    done);
+  !performed

@@ -1,0 +1,41 @@
+(** The paper's two benchmarks (§5.1):
+
+    - {e enqueue-dequeue pairs}: each iteration performs an enqueue
+      followed by a dequeue; 10^7 pairs split evenly over the
+      threads;
+    - {e 50%-enqueues}: each iteration performs an enqueue or a
+      dequeue with equal probability; 10^7 operations split evenly.
+
+    Between consecutive operations each thread spins for a random
+    50–100 ns of "work" to break artificial long-run scenarios. *)
+
+type kind = Pairs | Fifty_fifty
+
+val kind_of_string : string -> (kind, string) result
+val kind_to_string : kind -> string
+
+type spec = {
+  kind : kind;
+  total_ops : int; (* across all threads; a pair counts as 2 ops *)
+  work_ns : (int * int) option; (* uniform think-time range, None = off *)
+  seed : int64;
+}
+
+val default : kind -> spec
+(** 10^7 operations, 50–100 ns work, fixed seed — the paper's
+    configuration. *)
+
+val scaled : kind -> total_ops:int -> spec
+(** Same but with a different operation budget (quick modes). *)
+
+val ops_per_thread : spec -> threads:int -> int
+(** Fair share for one thread (an enqueue-dequeue pair counts as two
+    operations; the share is rounded to whole iterations, so the
+    actual grand total can differ from [total_ops] by at most
+    [2 * threads]). *)
+
+val thread_body : spec -> thread:int -> Queues.ops -> threads:int -> unit -> int
+(** [thread_body spec ~thread ops ~threads ()] performs thread
+    [thread]'s entire share of the workload against [ops] and returns
+    the number of queue operations performed.  Deterministically
+    seeded from [spec.seed] and [thread]. *)

@@ -1,0 +1,1 @@
+lib/lincheck/fast_fifo.ml: Array Format Hashtbl History List Queue_spec

@@ -1,0 +1,1 @@
+lib/lincheck/fast_fifo.mli: Format History Queue_spec

@@ -1,0 +1,1 @@
+lib/lincheck/queue_spec.ml: Format

@@ -1,0 +1,1 @@
+lib/lincheck/wgl.ml: Array Bytes Char Hashtbl History List Spec

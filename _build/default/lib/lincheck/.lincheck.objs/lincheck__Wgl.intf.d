@@ -1,0 +1,1 @@
+lib/lincheck/wgl.mli: History Spec

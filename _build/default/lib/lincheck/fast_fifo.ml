@@ -1,0 +1,144 @@
+type violation =
+  | Dequeued_never_enqueued of int
+  | Dequeued_twice of int
+  | Dequeue_before_enqueue of int
+  | Fifo_inversion of int * int
+  | Vacuous_empty of int
+  | Value_lost of int
+
+let pp_violation ppf = function
+  | Dequeued_never_enqueued v -> Format.fprintf ppf "value %d dequeued but never enqueued" v
+  | Dequeued_twice v -> Format.fprintf ppf "value %d dequeued twice" v
+  | Dequeue_before_enqueue v ->
+    Format.fprintf ppf "dequeue of %d responded before its enqueue was invoked" v
+  | Fifo_inversion (a, b) ->
+    Format.fprintf ppf "FIFO inversion: enq(%d) preceded enq(%d) but deq(%d) preceded deq(%d)" a b
+      b a
+  | Vacuous_empty v ->
+    Format.fprintf ppf "EMPTY returned while value %d was provably in the queue" v
+  | Value_lost v -> Format.fprintf ppf "value %d enqueued but never dequeued" v
+
+(* Per-value interval data.  A value never dequeued has d_inv = d_res
+   = max_int. *)
+type item = {
+  value : int;
+  e_inv : int;
+  e_res : int;
+  mutable d_inv : int;
+  mutable d_res : int;
+}
+
+let gather evs =
+  let enqueues : (int, item) Hashtbl.t = Hashtbl.create 1024 in
+  let first_error = ref None in
+  let fail v = if !first_error = None then first_error := Some v in
+  Array.iter
+    (fun (e : (Queue_spec.input, Queue_spec.output) History.event) ->
+      match e.History.input with
+      | Queue_spec.Enq x ->
+        if Hashtbl.mem enqueues x then
+          invalid_arg "Fast_fifo.check: duplicate enqueued value (values must be distinct)"
+        else
+          Hashtbl.add enqueues x
+            { value = x; e_inv = e.History.inv; e_res = e.History.res; d_inv = max_int; d_res = max_int }
+      | Queue_spec.Deq -> ())
+    evs;
+  let empties = ref [] in
+  Array.iter
+    (fun (e : (Queue_spec.input, Queue_spec.output) History.event) ->
+      match (e.History.input, e.History.output) with
+      | Queue_spec.Deq, Queue_spec.Got v -> (
+        match Hashtbl.find_opt enqueues v with
+        | None -> fail (Dequeued_never_enqueued v)
+        | Some item ->
+          if item.d_inv <> max_int then fail (Dequeued_twice v)
+          else begin
+            item.d_inv <- e.History.inv;
+            item.d_res <- e.History.res;
+            if e.History.res < item.e_inv then fail (Dequeue_before_enqueue v)
+          end)
+      | Queue_spec.Deq, Queue_spec.Empty -> empties := e :: !empties
+      | Queue_spec.Deq, Queue_spec.Accepted | Queue_spec.Enq _, _ -> ())
+    evs;
+  (enqueues, !empties, !first_error)
+
+let check ?(complete = false) evs =
+  let enqueues, empties, early = gather evs in
+  match early with
+  | Some v -> Error v
+  | None ->
+    let items = Hashtbl.fold (fun _ it acc -> it :: acc) enqueues [] in
+    let items = Array.of_list items in
+    let n = Array.length items in
+    let result = ref (Ok ()) in
+    let fail v = if !result = Ok () then result := Error v in
+    if complete then
+      Array.iter (fun it -> if it.d_inv = max_int then fail (Value_lost it.value)) items;
+    (* FIFO inversions: sort by e_inv; a value b whose enqueue begins
+       after a's enqueue ends is "later"; if such a b has d_res <
+       a's d_inv, then deq(b) wholly preceded deq(a): inversion.
+       Suffix minima over (d_res, witness) make each query O(log n). *)
+    if !result = Ok () && n > 0 then begin
+      Array.sort (fun x y -> compare x.e_inv y.e_inv) items;
+      let suffix_min = Array.make n (max_int, -1) in
+      for i = n - 1 downto 0 do
+        let here = (items.(i).d_res, i) in
+        suffix_min.(i) <-
+          (if i = n - 1 then here
+           else if fst suffix_min.(i + 1) < fst here then suffix_min.(i + 1)
+           else here)
+      done;
+      (* first index whose e_inv > bound *)
+      let first_after bound =
+        let lo = ref 0 and hi = ref n in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if items.(mid).e_inv > bound then hi := mid else lo := mid + 1
+        done;
+        !lo
+      in
+      Array.iter
+        (fun a ->
+          if a.d_inv <> max_int && !result = Ok () then begin
+            let j = first_after a.e_res in
+            if j < n then begin
+              let min_dres, widx = suffix_min.(j) in
+              if min_dres < a.d_inv then fail (Fifo_inversion (a.value, items.(widx).value))
+            end
+          end)
+        items;
+      (* Vacuous EMPTY: value v with e_res < empty.inv and d_inv >
+         empty.res was in the queue for the whole EMPTY interval.
+         Prefix maxima of d_inv over values sorted by e_res. *)
+      if !result = Ok () then begin
+        Array.sort (fun x y -> compare x.e_res y.e_res) items;
+        let prefix_max = Array.make n (min_int, -1) in
+        for i = 0 to n - 1 do
+          let here = (items.(i).d_inv, i) in
+          prefix_max.(i) <-
+            (if i = 0 then here
+             else if fst prefix_max.(i - 1) > fst here then prefix_max.(i - 1)
+             else here)
+        done;
+        (* last index whose e_res < bound *)
+        let last_before bound =
+          let lo = ref (-1) and hi = ref (n - 1) in
+          while !lo < !hi do
+            let mid = (!lo + !hi + 1) / 2 in
+            if items.(mid).e_res < bound then lo := mid else hi := mid - 1
+          done;
+          if !lo >= 0 && items.(!lo).e_res < bound then !lo else -1
+        in
+        List.iter
+          (fun (e : (Queue_spec.input, Queue_spec.output) History.event) ->
+            if !result = Ok () then begin
+              let j = last_before e.History.inv in
+              if j >= 0 then begin
+                let max_dinv, widx = prefix_max.(j) in
+                if max_dinv > e.History.res then fail (Vacuous_empty items.(widx).value)
+              end
+            end)
+          empties
+      end
+    end;
+    !result

@@ -1,0 +1,38 @@
+(** Polynomial necessary-condition checking for large FIFO histories.
+
+    The WGL checker is complete but exponential; stress tests record
+    hundreds of thousands of operations.  For histories with distinct
+    enqueued values, this module checks in O(n log n) a set of
+    conditions every linearizable FIFO history must satisfy:
+
+    - no value is dequeued that was never enqueued, and none twice;
+    - a dequeue of [v] does not respond before [v]'s enqueue begins;
+    - no FIFO inversion: if enq(a) precedes enq(b) in real time, then
+      deq(b) does not precede deq(a) in real time;
+    - no vacuous EMPTY: a dequeue may not return EMPTY if some value
+      was enqueued (response before the dequeue's invocation) and not
+      removed until after the dequeue responded — such a value was in
+      the queue throughout.
+
+    Violating any condition proves non-linearizability; passing them
+    all does not prove linearizability (the complete check is
+    {!Wgl}).  With [complete = true] the history is additionally
+    required to dequeue every enqueued value (drained runs). *)
+
+type violation =
+  | Dequeued_never_enqueued of int
+  | Dequeued_twice of int
+  | Dequeue_before_enqueue of int
+  | Fifo_inversion of int * int
+    (** [(a, b)]: enq(a) preceded enq(b), yet deq(b) preceded deq(a) *)
+  | Vacuous_empty of int
+    (** value that was provably in the queue across an EMPTY dequeue *)
+  | Value_lost of int (** only with [complete = true]: never dequeued *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check :
+  ?complete:bool ->
+  (Queue_spec.input, Queue_spec.output) History.event array ->
+  (unit, violation) result
+(** [complete] defaults to false. *)

@@ -1,0 +1,26 @@
+type ('i, 'o) event = { thread : int; input : 'i; output : 'o; inv : int; res : int }
+
+type ('i, 'o) recorder = {
+  clock : int Atomic.t;
+  buffers : ('i, 'o) event list ref array; (* one ref per thread, owner-written *)
+}
+
+let create_recorder ~threads =
+  assert (threads > 0);
+  { clock = Atomic.make 0; buffers = Array.init threads (fun _ -> ref []) }
+
+let record r ~thread input f =
+  let inv = Atomic.fetch_and_add r.clock 1 in
+  let output = f () in
+  let res = Atomic.fetch_and_add r.clock 1 in
+  let buf = r.buffers.(thread) in
+  buf := { thread; input; output; inv; res } :: !buf;
+  output
+
+let events r =
+  let all = Array.of_list (List.concat_map (fun b -> !b) (Array.to_list r.buffers)) in
+  Array.sort (fun a b -> compare a.inv b.inv) all;
+  all
+
+let size r = Array.fold_left (fun acc b -> acc + List.length !b) 0 r.buffers
+let precedes a b = a.res < b.inv

@@ -1,0 +1,36 @@
+(** Recording concurrent operation histories.
+
+    The paper proves its queue linearizable (§4); we test it.  Each
+    operation is recorded with invocation and response timestamps
+    drawn from one global atomic counter, so timestamp order is a
+    total order consistent with real-time precedence: operation A
+    precedes B iff [A.res < B.inv].  Recording costs two
+    fetch-and-adds per operation, which perturbs timing (more
+    interleaving, if anything) but never misorders events. *)
+
+type ('i, 'o) event = {
+  thread : int;
+  input : 'i;
+  output : 'o;
+  inv : int; (* invocation timestamp *)
+  res : int; (* response timestamp *)
+}
+
+type ('i, 'o) recorder
+
+val create_recorder : threads:int -> ('i, 'o) recorder
+(** A recorder for thread ids [0 .. threads-1]. *)
+
+val record : ('i, 'o) recorder -> thread:int -> 'i -> (unit -> 'o) -> 'o
+(** [record r ~thread input f] runs [f] and logs the event in
+    [thread]'s private buffer.  Only one domain may use a given
+    [thread] id. *)
+
+val events : ('i, 'o) recorder -> ('i, 'o) event array
+(** All recorded events, sorted by invocation timestamp.  Call only
+    after the recording threads have quiesced. *)
+
+val size : ('i, 'o) recorder -> int
+
+val precedes : ('i, 'o) event -> ('i, 'o) event -> bool
+(** Real-time precedence: [a] responded before [b] was invoked. *)

@@ -1,0 +1,21 @@
+type input = Enq of int | Deq
+type output = Accepted | Got of int | Empty
+type state = int list (* oldest value first *)
+
+let initial = []
+
+let apply st input output =
+  match (input, output) with
+  | Enq x, Accepted -> Some (st @ [ x ])
+  | Deq, Got v -> ( match st with y :: rest when y = v -> Some rest | _ -> None)
+  | Deq, Empty -> ( match st with [] -> Some [] | _ :: _ -> None)
+  | Enq _, (Got _ | Empty) | Deq, Accepted -> None
+
+let pp_input ppf = function
+  | Enq x -> Format.fprintf ppf "enq(%d)" x
+  | Deq -> Format.fprintf ppf "deq"
+
+let pp_output ppf = function
+  | Accepted -> Format.fprintf ppf "ok"
+  | Got v -> Format.fprintf ppf "got(%d)" v
+  | Empty -> Format.fprintf ppf "empty"

@@ -1,0 +1,11 @@
+(** The sequential FIFO-queue specification over integer payloads
+    (§3.1 of the paper): state is a sequence; enqueue appends;
+    dequeue removes the first value or reports EMPTY. *)
+
+type input = Enq of int | Deq
+type output = Accepted | Got of int | Empty
+
+include Spec.S with type input := input and type output := output and type state = int list
+
+val pp_input : Format.formatter -> input -> unit
+val pp_output : Format.formatter -> output -> unit

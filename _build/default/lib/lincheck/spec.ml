@@ -1,0 +1,17 @@
+(** Sequential specifications for linearizability checking. *)
+
+module type S = sig
+  type state
+  (** Must support structural equality and [Hashtbl.hash] (used to
+      memoize checker states): plain data, no functions or cycles. *)
+
+  type input
+  type output
+
+  val initial : state
+
+  val apply : state -> input -> output -> state option
+  (** [apply st i o] is [Some st'] when, in state [st], the operation
+      [i] may legally return [o], leaving state [st']; [None]
+      otherwise. *)
+end

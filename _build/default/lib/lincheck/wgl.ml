@@ -1,0 +1,71 @@
+module Make (S : Spec.S) = struct
+  type verdict = Linearizable of int list | Not_linearizable | Too_large
+
+  let max_events = 1024
+
+  (* Visited-set key: the set of already-linearized events plus the
+     abstract state they produced.  If we reach the same pair again,
+     the subtree is known fruitless. *)
+  module Seen = Hashtbl
+
+  let check (evs : (S.input, S.output) History.event array) =
+    let n = Array.length evs in
+    if n > max_events then Too_large
+    else if n = 0 then Linearizable []
+    else begin
+      let bytes_len = (n + 7) / 8 in
+      let seen : (string * S.state, unit) Seen.t = Seen.create 4096 in
+      let linearized = Bytes.make bytes_len '\000' in
+      let is_lin i = Char.code (Bytes.get linearized (i / 8)) land (1 lsl (i mod 8)) <> 0 in
+      let set_lin i b =
+        let mask = 1 lsl (i mod 8) in
+        let cur = Char.code (Bytes.get linearized (i / 8)) in
+        Bytes.set linearized (i / 8) (Char.chr (if b then cur lor mask else cur land lnot mask))
+      in
+      (* Events sorted by inv (History.events guarantees this); a
+         candidate for the next linearization point is any
+         unlinearized event invoked before the earliest response among
+         unlinearized events. *)
+      let rec search state acc count =
+        if count = n then Some (List.rev acc)
+        else begin
+          let key = (Bytes.to_string linearized, state) in
+          if Seen.mem seen key then None
+          else begin
+            let min_res = ref max_int in
+            for i = 0 to n - 1 do
+              if (not (is_lin i)) && evs.(i).History.res < !min_res then
+                min_res := evs.(i).History.res
+            done;
+            let result = ref None in
+            let i = ref 0 in
+            while !result = None && !i < n do
+              let idx = !i in
+              incr i;
+              if (not (is_lin idx)) && evs.(idx).History.inv < !min_res then begin
+                let e = evs.(idx) in
+                match S.apply state e.History.input e.History.output with
+                | Some state' ->
+                  set_lin idx true;
+                  (match search state' (idx :: acc) (count + 1) with
+                  | Some _ as r -> result := r
+                  | None -> set_lin idx false)
+                | None -> ()
+              end
+            done;
+            if !result = None then Seen.replace seen key ();
+            !result
+          end
+        end
+      in
+      match search S.initial [] 0 with
+      | Some order -> Linearizable order
+      | None -> Not_linearizable
+    end
+
+  let is_linearizable evs =
+    match check evs with
+    | Linearizable _ -> true
+    | Not_linearizable -> false
+    | Too_large -> invalid_arg "Wgl.is_linearizable: history too large"
+end

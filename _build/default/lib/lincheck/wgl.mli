@@ -1,0 +1,25 @@
+(** Wing & Gong's linearizability checker (with Lowe's
+    state-memoization pruning): an exhaustive search for a
+    linearization of a complete history against a sequential spec.
+
+    Exponential in the worst case — intended for the small randomized
+    histories the test suite generates (tens to low hundreds of
+    operations, a handful of threads).  Larger stress runs use
+    {!Fast_fifo}'s polynomial necessary conditions instead. *)
+
+module Make (S : Spec.S) : sig
+  type verdict =
+    | Linearizable of int list
+      (** witness: event indices in linearization order *)
+    | Not_linearizable
+    | Too_large (** more than [max_events] events *)
+
+  val max_events : int
+
+  val check : (S.input, S.output) History.event array -> verdict
+  (** The history must be complete (every invocation has a
+      response — which [History.record] guarantees). *)
+
+  val is_linearizable : (S.input, S.output) History.event array -> bool
+  (** [Too_large] raises [Invalid_argument]. *)
+end

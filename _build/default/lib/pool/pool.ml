@@ -1,0 +1,89 @@
+type 'a state = Pending | Resolved of ('a, exn) result
+
+type 'a future = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable state : 'a state;
+}
+
+type t = {
+  run_queue : (unit -> unit) Wfq.Wfqueue.t;
+  stopping : bool Atomic.t;
+  accepting : bool Atomic.t;
+  mutable workers : unit Domain.t list; (* set once, right after create *)
+}
+
+let resolve future result =
+  Mutex.lock future.mutex;
+  future.state <- Resolved result;
+  Condition.broadcast future.cond;
+  Mutex.unlock future.mutex
+
+let worker_loop pool () =
+  let handle = Wfq.Wfqueue.register pool.run_queue in
+  let rec loop idle_spins =
+    match Wfq.Wfqueue.dequeue pool.run_queue handle with
+    | Some task ->
+      task ();
+      loop 0
+    | None ->
+      if Atomic.get pool.stopping then ()
+      else begin
+        (* between spinning and napping: submissions are bursty and
+           the host may be oversubscribed *)
+        if idle_spins < 64 then Domain.cpu_relax () else Unix.sleepf 0.000_2;
+        loop (idle_spins + 1)
+      end
+  in
+  loop 0
+
+let create ?workers () =
+  let default = max 1 (Domain.recommended_domain_count () - 1) in
+  let n = match workers with Some n -> n | None -> default in
+  if n < 1 then invalid_arg "Pool.create: need at least one worker";
+  let pool =
+    {
+      run_queue = Wfq.Wfqueue.create ();
+      stopping = Atomic.make false;
+      accepting = Atomic.make true;
+      workers = [];
+    }
+  in
+  pool.workers <- List.init n (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let submit pool f =
+  if not (Atomic.get pool.accepting) then invalid_arg "Pool.submit: pool is shut down";
+  let future = { mutex = Mutex.create (); cond = Condition.create (); state = Pending } in
+  Wfq.Wfqueue.push pool.run_queue (fun () ->
+      let result = try Ok (f ()) with exn -> Error exn in
+      resolve future result);
+  future
+
+let await future =
+  Mutex.lock future.mutex;
+  let rec wait () =
+    match future.state with
+    | Resolved r ->
+      Mutex.unlock future.mutex;
+      r
+    | Pending ->
+      Condition.wait future.cond future.mutex;
+      wait ()
+  in
+  wait ()
+
+let poll future =
+  Mutex.lock future.mutex;
+  let r = match future.state with Pending -> None | Resolved r -> Some r in
+  Mutex.unlock future.mutex;
+  r
+
+let parallel_map pool f xs = List.map (fun x -> submit pool (fun () -> f x)) xs |> List.map await
+
+let pending pool = Wfq.Wfqueue.approx_length pool.run_queue
+
+let shutdown pool =
+  Atomic.set pool.accepting false;
+  Atomic.set pool.stopping true;
+  List.iter Domain.join pool.workers

@@ -1,0 +1,50 @@
+(** A fixed-size worker pool over the wait-free run queue.
+
+    The motivating deployment for the paper's queue: a shared run
+    queue where task submission must never stall behind a descheduled
+    worker.  [submit] is wait-free apart from promise allocation —
+    it performs one wait-free enqueue — regardless of what the
+    workers are doing; dequeueing workers can never block submitters
+    or each other.
+
+    {[
+      let pool = Pool.create ~workers:4 () in
+      let f = Pool.submit pool (fun () -> heavy 42) in
+      ...
+      match Pool.await f with
+      | Ok v -> use v
+      | Error exn -> handle exn
+    ]} *)
+
+type t
+
+type 'a future
+
+val create : ?workers:int -> unit -> t
+(** Spawn [workers] (default [Domain.recommended_domain_count () - 1],
+    at least 1) worker domains consuming the shared run queue. *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Schedule a task; its result (or exception) resolves the future.
+    Raises [Invalid_argument] after {!shutdown}. *)
+
+val await : 'a future -> ('a, exn) result
+(** Block until the future resolves.  If called from a worker of the
+    same pool, beware: awaiting a task that sits behind the caller in
+    the queue deadlocks a 1-worker pool (futures do not steal). *)
+
+val poll : 'a future -> ('a, exn) result option
+(** Non-blocking check. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** Submit one task per element, await all (in order). *)
+
+val pending : t -> int
+(** Tasks submitted but not yet started (approximate). *)
+
+val shutdown : t -> unit
+(** Complete all already-submitted tasks, then stop and join the
+    workers.  Idempotent.  Submitters racing a shutdown may get
+    [Invalid_argument], and a task whose [submit] had not returned
+    when [shutdown] was called may be dropped (its future never
+    resolves) — quiesce submitters first. *)

@@ -1,0 +1,1 @@
+lib/primitives/atomic_prims.ml: Atomic Domain

@@ -1,0 +1,1 @@
+lib/primitives/backoff.mli:

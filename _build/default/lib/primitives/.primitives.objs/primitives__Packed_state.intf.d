@@ -1,0 +1,1 @@
+lib/primitives/packed_state.mli: Format

@@ -1,0 +1,1 @@
+lib/primitives/spin_work.ml: Atomic Clock List Splitmix64

@@ -1,0 +1,1 @@
+lib/primitives/spin_work.mli: Splitmix64

@@ -1,0 +1,1 @@
+lib/primitives/splitmix64.mli:

@@ -1,0 +1,55 @@
+(** The atomic primitives the queue algorithm is written against.
+
+    The algorithm ({!Wfqueue_algo.Make}) is a functor over this
+    signature so that the same algorithm text runs both on real
+    hardware atomics ({!Real}, used by {!Wfqueue}) and on the
+    simulated, schedule-controlled atomics of the model-checking
+    harness ([Simsched.Sim_atomic]), where every primitive is a
+    preemption point that a test scheduler chooses to interleave. *)
+
+module type S = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  (** Physical-equality compare-and-set, as [Stdlib.Atomic]. *)
+
+  val fetch_and_add : int t -> int -> int
+  val cpu_relax : unit -> unit
+end
+
+(** Hardware atomics: [Stdlib.Atomic] (sequentially consistent). *)
+module Real : S with type 'a t = 'a Atomic.t = struct
+  type 'a t = 'a Atomic.t
+
+  let make = Atomic.make
+  let get = Atomic.get
+  let set = Atomic.set
+  let compare_and_set = Atomic.compare_and_set
+  let fetch_and_add = Atomic.fetch_and_add
+  let cpu_relax = Domain.cpu_relax
+end
+
+(** The paper's IBM Power7 configuration: the architecture has no
+    native fetch-and-add, so FAA is emulated with an LL/SC (here CAS)
+    retry loop — which "sacrifices the wait freedom of our queue ...
+    [but] still performs well in practice" (§3.1, §5.2).  Everything
+    else is hardware-atomic.  Instantiating {!Wfqueue_algo.Make} over
+    this gives the queue the paper benchmarked on Power7. *)
+module Emulated_faa : S with type 'a t = 'a Atomic.t = struct
+  type 'a t = 'a Atomic.t
+
+  let make = Atomic.make
+  let get = Atomic.get
+  let set = Atomic.set
+  let compare_and_set = Atomic.compare_and_set
+
+  let rec fetch_and_add r n =
+    let old = Atomic.get r in
+    if Atomic.compare_and_set r old (old + n) then old else fetch_and_add r n
+
+  let cpu_relax = Domain.cpu_relax
+end

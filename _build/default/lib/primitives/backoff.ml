@@ -1,0 +1,23 @@
+type t = { min_spins : int; max_spins : int; mutable spins : int }
+
+let create ?(min_spins = 8) ?(max_spins = 4096) () =
+  assert (min_spins > 0 && max_spins >= min_spins);
+  { min_spins; max_spins; spins = min_spins }
+
+(* The loop body writes a mutable cell so the compiler cannot discard
+   it; [Domain.cpu_relax] yields the core's pipeline to hyperthread
+   siblings where available. *)
+let sink = ref 0
+
+let spin n =
+  for i = 1 to n do
+    sink := !sink + i;
+    Domain.cpu_relax ()
+  done
+
+let backoff t =
+  spin t.spins;
+  t.spins <- min (t.spins * 2) t.max_spins
+
+let reset t = t.spins <- t.min_spins
+let current_spins t = t.spins

@@ -1,0 +1,21 @@
+(** Truncated exponential backoff.
+
+    Used by the CAS-retry baselines (MS-Queue, LCRQ) to reduce
+    contention on failed CAS, as in the original implementations the
+    paper compares against.  The wait-free queue itself never needs
+    backoff: its FAA always succeeds. *)
+
+type t
+
+val create : ?min_spins:int -> ?max_spins:int -> unit -> t
+(** Fresh backoff state.  [min_spins] (default 8) is the first delay,
+    doubling after each {!backoff} up to [max_spins] (default 4096). *)
+
+val backoff : t -> unit
+(** Spin for the current delay, then double it (saturating). *)
+
+val reset : t -> unit
+(** Return to the minimum delay (call after a successful operation). *)
+
+val current_spins : t -> int
+(** The delay that the next {!backoff} will use, for testing. *)

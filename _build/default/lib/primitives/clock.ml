@@ -1,0 +1,9 @@
+let now = Unix.gettimeofday
+
+let time_it f =
+  let t0 = now () in
+  let x = f () in
+  let t1 = now () in
+  (x, t1 -. t0)
+
+let now_ns = Monotonic_clock.now

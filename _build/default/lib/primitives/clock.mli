@@ -1,0 +1,17 @@
+(** Wall-clock timing for throughput measurement.
+
+    Throughput in the paper is operations per second of wall time over
+    all threads, so we use the system real-time clock.  Resolution is
+    microseconds, far below the seconds-long benchmark iterations. *)
+
+val now : unit -> float
+(** Seconds since the epoch. *)
+
+val time_it : (unit -> 'a) -> 'a * float
+(** [time_it f] runs [f] and returns its result with the elapsed wall
+    time in seconds. *)
+
+val now_ns : unit -> int64
+(** Monotonic clock in nanoseconds (clock_gettime MONOTONIC), for
+    per-operation latency measurement where microsecond resolution is
+    not enough. *)

@@ -1,0 +1,13 @@
+type t = int
+
+let make ~pending ~id =
+  assert (id >= 0);
+  (id lsl 1) lor (if pending then 1 else 0)
+
+let initial = 0
+let pending t = t land 1 = 1
+let id t = t lsr 1
+let equal = Int.equal
+
+let pp ppf t =
+  Format.fprintf ppf "(pending=%b, id=%d)" (pending t) (id t)

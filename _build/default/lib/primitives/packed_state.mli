@@ -1,0 +1,25 @@
+(** Packed request state words.
+
+    The paper's enqueue and dequeue requests carry a one-word state
+    [{ pending : 1 bit; id : 63 bits }] (Listing 2, lines 12 and 15)
+    that is claimed and closed with single-word CAS.  OCaml's native
+    [int] is 63-bit, so we pack the index into the upper bits and the
+    pending flag into bit 0.  Indices are cell indices obtained by
+    fetch-and-add, so the 62 usable bits overflow only after 2^62
+    operations. *)
+
+type t = private int
+
+val make : pending:bool -> id:int -> t
+(** [make ~pending ~id] packs a state word.  [id] must be
+    non-negative. *)
+
+val initial : t
+(** The all-zero state [(pending = false, id = 0)] used for freshly
+    created requests. *)
+
+val pending : t -> bool
+val id : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+(* The spin loop writes to a shared sink so that neither the compiler
+   nor an idle CPU can elide it.  Calibration runs the same loop the
+   delay uses, long enough (~20 ms) to dwarf timer resolution. *)
+
+let sink = ref 0
+
+let spin n =
+  for i = 1 to n do
+    sink := !sink lxor i
+  done
+
+let rate = Atomic.make 0.0 (* iterations per nanosecond; 0 = not yet *)
+
+let measure_once iters =
+  let t0 = Clock.now () in
+  spin iters;
+  let t1 = Clock.now () in
+  let elapsed_ns = (t1 -. t0) *. 1e9 in
+  if elapsed_ns <= 0.0 then infinity else float_of_int iters /. elapsed_ns
+
+let calibrate () =
+  let current = Atomic.get rate in
+  if current > 0.0 then current
+  else begin
+    (* Grow the iteration count until one measurement takes >= 5 ms,
+       then take the median of three runs for stability. *)
+    let iters = ref 100_000 in
+    while
+      let t0 = Clock.now () in
+      spin !iters;
+      Clock.now () -. t0 < 0.005
+    do
+      iters := !iters * 4
+    done;
+    let samples = List.init 3 (fun _ -> measure_once !iters) in
+    let median =
+      match List.sort compare samples with
+      | [ _; m; _ ] -> m
+      | _ -> assert false
+    in
+    Atomic.set rate median;
+    median
+  end
+
+let iterations_for_ns ns =
+  let r = calibrate () in
+  int_of_float (ceil (float_of_int ns *. r))
+
+let delay_ns ns = if ns > 0 then spin (iterations_for_ns ns)
+
+let random_work rng ~min_ns ~max_ns =
+  assert (max_ns >= min_ns);
+  let ns = min_ns + Splitmix64.next_int rng (max_ns - min_ns + 1) in
+  delay_ns ns

@@ -1,0 +1,24 @@
+(** Calibrated busy-work between queue operations.
+
+    The paper's benchmarks insert a random 50–100 ns of "work" between
+    operations to avoid artificial long-run scenarios (§5.1, following
+    Michael & Scott).  This module calibrates a pure spin loop against
+    the wall clock once, then converts nanoseconds to loop iterations.
+
+    Calibration happens lazily on first use and can be forced with
+    {!calibrate}.  The result is a machine-dependent iterations/ns rate
+    shared by all domains (read-only after initialization). *)
+
+val calibrate : unit -> float
+(** Measure and memoize the spin rate, in iterations per nanosecond.
+    Idempotent; returns the memoized rate on later calls. *)
+
+val delay_ns : int -> unit
+(** Busy-spin for approximately the given number of nanoseconds. *)
+
+val random_work : Splitmix64.t -> min_ns:int -> max_ns:int -> unit
+(** Spin for a uniformly random duration in [\[min_ns, max_ns\]], as the
+    paper's benchmark loop does with 50–100 ns. *)
+
+val iterations_for_ns : int -> int
+(** Expose the ns→iterations conversion for testing. *)

@@ -1,0 +1,31 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed = { state = seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = create (next_int64 t)
+
+let next_int t bound =
+  assert (bound > 0);
+  (* Take the top bits (better distributed in SplitMix64) and reduce.
+     The modulo bias is < bound / 2^62, negligible for workload
+     generation. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let next_float t =
+  let bits53 = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits53 *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L

@@ -1,0 +1,26 @@
+(** SplitMix64 pseudo-random number generator (Steele et al., 2014).
+
+    Deterministic, splittable and fast; one instance per benchmark
+    thread gives reproducible workloads without sharing (the benchmark
+    framework the paper builds on seeds one generator per thread).
+    Implemented over [Int64] for exact 64-bit arithmetic. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] makes a generator; equal seeds yield equal streams. *)
+
+val split : t -> t
+(** A statistically independent generator derived from [t]'s stream. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val next_int : t -> int -> int
+(** [next_int t bound] is uniform in [\[0, bound)]. [bound > 0]. *)
+
+val next_float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)

@@ -1,0 +1,1 @@
+lib/simsched/sim.ml: Array Baselines Effect List Primitives Wfq

@@ -1,0 +1,1 @@
+lib/simsched/sim.mli: Baselines Wfq

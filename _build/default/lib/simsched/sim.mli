@@ -1,0 +1,74 @@
+(** Deterministic-schedule model checking for the queue algorithm.
+
+    The algorithm ([Wfq.Wfqueue_algo]) is a functor over its atomic
+    primitives.  {!Atomic_shim} implements those primitives with plain
+    single-domain cells whose every access performs a [Yield] effect;
+    {!run} executes a set of fibers under a handler that captures each
+    fiber at every yield and picks the next fiber to run with a seeded
+    PRNG.  One [run] therefore explores one precise interleaving of
+    the algorithm's atomic operations, reproducibly; sweeping seeds
+    explores the schedule space far more densely than hardware
+    preemption ever could, at the granularity where linearizability
+    bugs live.
+
+    {!Queue} is the queue algorithm instantiated on the shim: the
+    exact algorithm text that ships in [Wfq.Wfqueue], model-checked.
+
+    Yields performed outside {!run} are no-ops, so building queues and
+    registering handles may also happen outside the scheduler. *)
+
+module Atomic_shim : Wfq.Atomic_prims.S
+
+module Queue : module type of Wfq.Wfqueue_algo.Make (Atomic_shim)
+
+module Ms_queue : module type of Baselines.Msqueue_algo.Make (Atomic_shim)
+(** The MS-Queue baseline on the same simulated atomics, for
+    differential schedule testing. *)
+
+module Lcrq : module type of Baselines.Lcrq_algo.Make (Atomic_shim)
+(** LCRQ (rings + list) on simulated atomics: the close/fixState
+    logic is the subtlest part of any baseline, so it gets schedule
+    exploration too. *)
+
+type stats = {
+  scheduling_decisions : int;
+  max_steps_hit : bool; (* true when the step limit stopped the run *)
+}
+
+exception Fiber_failure of int * exn
+(** Fiber index and the exception it raised. *)
+
+val run : ?seed:int64 -> ?max_steps:int -> (unit -> unit) array -> stats
+(** [run ~seed fibers] drives every fiber to completion under one
+    random schedule.  [max_steps] (default 10_000_000) bounds total
+    scheduling decisions: hitting it means a fiber did not terminate —
+    for a wait-free algorithm, a livelock bug — and is reported in the
+    result rather than raised, so tests can assert on it.
+    Deterministic: equal seeds and fibers yield equal schedules. *)
+
+val now : unit -> int
+(** The current scheduling step, usable as a logical timestamp from
+    inside fibers (monotone within one run; reset to 0 by {!run}). *)
+
+type exploration = {
+  schedules : int;
+  exhausted : bool; (* the whole bounded space was covered *)
+  truncated_runs : int; (* runs that hit max_steps *)
+}
+
+val explore :
+  ?max_schedules:int ->
+  ?max_steps:int ->
+  ?preemptions:int ->
+  make_fibers:(unit -> (unit -> unit) array) ->
+  check:(unit -> unit) ->
+  unit ->
+  exploration
+(** Systematic depth-first enumeration of schedules with at most
+    [preemptions] (default 2) involuntary context switches — the
+    standard bounding under which most concurrency bugs have small
+    witnesses (both protocol bugs this harness found need ≤ 3).
+    [make_fibers] must build fresh state for each schedule; [check]
+    runs after each schedule and should raise (e.g. an Alcotest
+    failure) on a violated invariant.  Stops after [max_schedules]
+    (default 100_000) or when the bounded space is exhausted. *)

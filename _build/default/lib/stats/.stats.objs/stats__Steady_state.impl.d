@@ -1,0 +1,1 @@
+lib/stats/steady_state.ml: Array Descriptive List Option Student_t

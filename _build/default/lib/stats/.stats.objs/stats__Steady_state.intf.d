@@ -1,0 +1,1 @@
+lib/stats/steady_state.mli: Student_t

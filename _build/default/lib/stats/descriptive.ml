@@ -1,0 +1,59 @@
+type summary = {
+  n : int;
+  mean : float;
+  variance : float;
+  stddev : float;
+  cov : float;
+  min : float;
+  max : float;
+}
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Descriptive.mean: empty";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Descriptive.summarize: empty";
+  let m = mean xs in
+  let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+  let variance = if n < 2 then 0.0 else ss /. float_of_int (n - 1) in
+  let stddev = sqrt variance in
+  let cov = if m = 0.0 then 0.0 else stddev /. Float.abs m in
+  let mn = Array.fold_left Float.min xs.(0) xs in
+  let mx = Array.fold_left Float.max xs.(0) xs in
+  { n; mean = m; variance; stddev; cov; min = mn; max = mx }
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Descriptive.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Descriptive.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = percentile xs 50.0
+
+module Welford = struct
+  type t = { mutable count : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { count = 0; mean = 0.0; m2 = 0.0 }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.count
+  let mean t = t.mean
+  let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+  let stddev t = sqrt (variance t)
+end

@@ -1,0 +1,36 @@
+(** Descriptive statistics over samples of floats.
+
+    Backs the Georges et al. evaluation methodology the paper follows
+    (§5.1): iteration means, coefficients of variation, and the
+    summary statistics reported with each throughput number. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  variance : float; (* unbiased sample variance, 0 when n < 2 *)
+  stddev : float;
+  cov : float; (* coefficient of variation, stddev / mean *)
+  min : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty array. *)
+
+val mean : float array -> float
+val median : float array -> float
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation. *)
+
+(** Welford's online algorithm: numerically stable incremental mean
+    and variance, used by long-running measurement loops. *)
+module Welford : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+end

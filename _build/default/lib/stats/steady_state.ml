@@ -1,0 +1,75 @@
+type choice = {
+  start_index : int;
+  values : float array;
+  mean : float;
+  cov : float;
+  converged : bool;
+}
+
+let window_stats xs start window =
+  let slice = Array.sub xs start window in
+  let s = Descriptive.summarize slice in
+  (slice, s.Descriptive.mean, s.Descriptive.cov)
+
+let choose_window ?(window = 5) ?(threshold = 0.02) xs =
+  let n = Array.length xs in
+  if window < 2 then invalid_arg "Steady_state.choose_window: window too small";
+  if n < window then invalid_arg "Steady_state.choose_window: not enough measurements";
+  (* First window (earliest s_i) that meets the threshold... *)
+  let rec find i =
+    if i + window > n then None
+    else begin
+      let slice, mean, cov = window_stats xs i window in
+      if cov < threshold then Some { start_index = i; values = slice; mean; cov; converged = true }
+      else find (i + 1)
+    end
+  in
+  match find 0 with
+  | Some c -> c
+  | None ->
+    (* ... otherwise the window with the lowest COV. *)
+    let best = ref None in
+    for i = 0 to n - window do
+      let slice, mean, cov = window_stats xs i window in
+      match !best with
+      | Some b when b.cov <= cov -> ()
+      | Some _ | None ->
+        best := Some { start_index = i; values = slice; mean; cov; converged = false }
+    done;
+    Option.get !best
+
+let run_invocation ?(window = 5) ?(threshold = 0.02) ?(max_iterations = 20) measure =
+  if max_iterations < window then
+    invalid_arg "Steady_state.run_invocation: max_iterations < window";
+  let measurements = ref [] in
+  let count = ref 0 in
+  let result = ref None in
+  while !result = None && !count < max_iterations do
+    measurements := measure () :: !measurements;
+    incr count;
+    if !count >= window then begin
+      let xs = Array.of_list (List.rev !measurements) in
+      let _, _, cov = window_stats xs (!count - window) window in
+      if cov < threshold then
+        result := Some (choose_window ~window ~threshold xs)
+    end
+  done;
+  match !result with
+  | Some c -> c
+  | None -> choose_window ~window ~threshold (Array.of_list (List.rev !measurements))
+
+type report = {
+  scores : float array;
+  interval : Student_t.interval;
+  all_converged : bool;
+}
+
+let across_invocations ?(confidence = 0.95) ?(invocations = 10) run =
+  if invocations < 2 then invalid_arg "Steady_state.across_invocations: need >= 2 invocations";
+  let choices = Array.init invocations (fun _ -> run ()) in
+  let scores = Array.map (fun c -> c.mean) choices in
+  {
+    scores;
+    interval = Student_t.confidence_interval ~confidence scores;
+    all_converged = Array.for_all (fun c -> c.converged) choices;
+  }

@@ -1,0 +1,46 @@
+(** Steady-state detection after Georges, Buytaert & Eeckhout
+    (OOPSLA 2007), as applied in the paper's §5.1:
+
+    within one process invocation, run up to [max_iterations]
+    benchmark iterations; steady state is reached at iteration s_i
+    once the coefficient of variation of the most recent [window]
+    iterations falls below [threshold] (paper: window 5, COV 0.02).
+    If the threshold is never met, use the [window] consecutive
+    iterations with the lowest COV.  The invocation's score is the
+    mean of the chosen window; across invocations, a Student-t
+    confidence interval summarizes the scores. *)
+
+type choice = {
+  start_index : int; (* first iteration of the chosen window *)
+  values : float array; (* the window itself *)
+  mean : float;
+  cov : float;
+  converged : bool; (* threshold was met *)
+}
+
+val choose_window : ?window:int -> ?threshold:float -> float array -> choice
+(** Pick the steady-state window from iteration measurements, with
+    the paper's defaults (window 5, threshold 0.02).  Needs at least
+    [window] measurements. *)
+
+val run_invocation :
+  ?window:int ->
+  ?threshold:float ->
+  ?max_iterations:int ->
+  (unit -> float) ->
+  choice
+(** Drive a measurement function iteration by iteration, stopping as
+    soon as the trailing window converges or after [max_iterations]
+    (default 20, as in the paper). *)
+
+type report = {
+  scores : float array; (* one per invocation *)
+  interval : Student_t.interval;
+  all_converged : bool;
+}
+
+val across_invocations :
+  ?confidence:float -> ?invocations:int -> (unit -> choice) -> report
+(** Repeat a whole invocation [invocations] times (default 10) and
+    summarize the per-invocation means with a confidence interval
+    (default 95%), as the paper reports in Figure 2's error bars. *)

@@ -1,0 +1,84 @@
+(* Acklam's rational approximation to the inverse normal CDF. *)
+let inverse_normal_cdf p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "inverse_normal_cdf: p must be in (0,1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  in
+  let b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  in
+  let c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  in
+  let d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  let p_high = 1.0 -. p_low in
+  if p < p_low then begin
+    let q = sqrt (-2.0 *. log p) in
+    (((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q
+    +. c.(5)
+    |> fun num -> num /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+  end
+  else if p <= p_high then begin
+    let q = p -. 0.5 in
+    let r = q *. q in
+    ((((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r +. a.(5))
+    *. q
+    /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.0)
+  end
+  else begin
+    let q = sqrt (-2.0 *. log (1.0 -. p)) in
+    -.((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+    /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+  end
+
+(* Exact two-tailed 95% and 99% critical values for small df, where
+   the asymptotic expansion is weakest. *)
+let exact_95 = [| 12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306 |]
+let exact_99 = [| 63.657; 9.925; 5.841; 4.604; 4.032; 3.707; 3.499; 3.355 |]
+
+(* Cornish–Fisher expansion of the t quantile in powers of 1/df
+   (Abramowitz & Stegun 26.7.5). *)
+let cornish_fisher z df =
+  let n = float_of_int df in
+  let z2 = z *. z in
+  let z3 = z2 *. z and z5 = z2 *. z2 *. z in
+  let z7 = z5 *. z2 and z9 = z5 *. z2 *. z2 in
+  z
+  +. ((z3 +. z) /. (4.0 *. n))
+  +. (((5.0 *. z5) +. (16.0 *. z3) +. (3.0 *. z)) /. (96.0 *. n *. n))
+  +. (((3.0 *. z7) +. (19.0 *. z5) +. (17.0 *. z3) -. (15.0 *. z)) /. (384.0 *. n *. n *. n))
+  +. (((79.0 *. z9) +. (776.0 *. z7) +. (1482.0 *. z5) -. (1920.0 *. z3) -. (945.0 *. z))
+     /. (92160.0 *. n *. n *. n *. n))
+
+let critical_value ~confidence ~df =
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Student_t.critical_value: confidence must be in (0,1)";
+  if df < 1 then invalid_arg "Student_t.critical_value: df must be >= 1";
+  let table =
+    if Float.abs (confidence -. 0.95) < 1e-9 then Some exact_95
+    else if Float.abs (confidence -. 0.99) < 1e-9 then Some exact_99
+    else None
+  in
+  match table with
+  | Some tbl when df <= Array.length tbl -> tbl.(df - 1)
+  | Some _ | None ->
+    let p = 1.0 -. ((1.0 -. confidence) /. 2.0) in
+    cornish_fisher (inverse_normal_cdf p) df
+
+type interval = { mean : float; lower : float; upper : float; half_width : float }
+
+let confidence_interval ?(confidence = 0.95) xs =
+  let s = Descriptive.summarize xs in
+  if s.Descriptive.n < 2 then
+    invalid_arg "Student_t.confidence_interval: need at least 2 observations";
+  let t = critical_value ~confidence ~df:(s.Descriptive.n - 1) in
+  let half_width = t *. s.Descriptive.stddev /. sqrt (float_of_int s.Descriptive.n) in
+  let m = s.Descriptive.mean in
+  { mean = m; lower = m -. half_width; upper = m +. half_width; half_width }

@@ -1,0 +1,24 @@
+(** Two-tailed critical values of Student's t-distribution.
+
+    The paper computes 95% confidence intervals over 10 benchmark
+    invocations under a t-distribution with n-1 degrees of freedom
+    (§5.1, after Georges et al.).  Small degrees of freedom use exact
+    tabulated values; larger ones use the Cornish–Fisher expansion of
+    the t quantile around the normal quantile, accurate to well under
+    0.1% in the range used here. *)
+
+val critical_value : confidence:float -> df:int -> float
+(** [critical_value ~confidence ~df] is the two-tailed critical value
+    tc such that P(|T| <= tc) = confidence.  [confidence] must be in
+    (0, 1); [df >= 1]. *)
+
+val inverse_normal_cdf : float -> float
+(** Quantile of the standard normal distribution (Acklam's
+    approximation, |relative error| < 1.15e-9), exposed for testing. *)
+
+type interval = { mean : float; lower : float; upper : float; half_width : float }
+
+val confidence_interval : ?confidence:float -> float array -> interval
+(** Mean and two-sided confidence interval (default 0.95) of a sample
+    of at least 2 observations, via the t-distribution with n-1
+    degrees of freedom. *)

@@ -1,0 +1,1 @@
+lib/sync/ccsynch.ml: Atomic Domain Unix

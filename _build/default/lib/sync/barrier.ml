@@ -1,0 +1,28 @@
+type t = {
+  parties : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable arrived : int;
+  mutable generation : int;
+}
+
+let create parties =
+  assert (parties >= 1);
+  { parties; mutex = Mutex.create (); cond = Condition.create (); arrived = 0; generation = 0 }
+
+let parties t = t.parties
+
+let await t =
+  Mutex.lock t.mutex;
+  let gen = t.generation in
+  t.arrived <- t.arrived + 1;
+  if t.arrived = t.parties then begin
+    t.arrived <- 0;
+    t.generation <- gen + 1;
+    Condition.broadcast t.cond
+  end
+  else
+    while t.generation = gen do
+      Condition.wait t.cond t.mutex
+    done;
+  Mutex.unlock t.mutex

@@ -1,0 +1,19 @@
+(** Reusable synchronization barrier for benchmark phases.
+
+    All benchmark threads wait on a barrier before timing starts so
+    that domain spawn latency is excluded, exactly as the framework the
+    paper builds on does.  The host is heavily oversubscribed (see
+    DESIGN.md §2.1), so this barrier blocks on a condition variable
+    rather than spinning: it is used only outside timed regions. *)
+
+type t
+
+val create : int -> t
+(** [create parties] makes a barrier for [parties] threads.
+    [parties >= 1]. *)
+
+val await : t -> unit
+(** Block until all parties have called [await]; then all are
+    released and the barrier resets for reuse. *)
+
+val parties : t -> int

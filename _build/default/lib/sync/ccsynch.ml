@@ -1,0 +1,77 @@
+(* A combining node.  [req] and [completed] are plain mutable fields:
+   [req] is published to the combiner by the atomic store to the
+   predecessor's [next], and [completed] is published back to the
+   requester by the atomic store to [wait] — both Atomic operations are
+   sequentially consistent in OCaml, giving the required
+   happens-before edges. *)
+type node = {
+  mutable req : (unit -> unit) option;
+  next : node option Atomic.t;
+  wait : bool Atomic.t;
+  mutable completed : bool;
+}
+
+type t = { tail : node Atomic.t; max_combine : int }
+type handle = { mutable spare : node }
+
+let new_node () =
+  { req = None; next = Atomic.make None; wait = Atomic.make false; completed = false }
+
+let create ?(max_combine = 1024) () =
+  assert (max_combine >= 1);
+  { tail = Atomic.make (new_node ()); max_combine }
+
+let handle _t = { spare = new_node () }
+
+(* Spin briefly, then fall back to micro-sleeps: on an oversubscribed
+   host a waiter that only spins can burn its whole scheduling quantum
+   while the combiner is descheduled.  (This waiting is the blocking
+   behaviour of combining that the paper contrasts with
+   wait-freedom.) *)
+let spin_while_waiting node =
+  let budget = ref 4096 in
+  while Atomic.get node.wait do
+    if !budget > 0 then begin
+      decr budget;
+      Domain.cpu_relax ()
+    end
+    else Unix.sleepf 1e-6
+  done
+
+(* Execute pending requests starting at [cur] (inclusive); stop after
+   [max_combine] requests or when reaching the queue's open end, then
+   hand the combiner role to the node we stopped at. *)
+let combine t cur =
+  let rec go node count =
+    match Atomic.get node.next with
+    | Some next when count < t.max_combine ->
+      (match node.req with
+      | Some f -> f ()
+      | None -> assert false);
+      node.req <- None;
+      node.completed <- true;
+      Atomic.set node.wait false;
+      go next (count + 1)
+    | Some _ | None ->
+      (* [node]'s owner becomes the next combiner (completed stays
+         false so it will enter [combine] when released). *)
+      Atomic.set node.wait false
+  in
+  go cur 0
+
+let apply t h f =
+  let result = ref None in
+  let thunk () = result := Some (f ()) in
+  let next_node = h.spare in
+  Atomic.set next_node.next None;
+  Atomic.set next_node.wait true;
+  next_node.completed <- false;
+  let cur = Atomic.exchange t.tail next_node in
+  cur.req <- Some thunk;
+  Atomic.set cur.next (Some next_node);
+  h.spare <- cur;
+  spin_while_waiting cur;
+  if not cur.completed then combine t cur;
+  match !result with
+  | Some v -> v
+  | None -> assert false

@@ -1,0 +1,31 @@
+(** CC-Synch combining (Fatourou & Kallimanis, PPoPP 2012).
+
+    Threads publish requests into a queue of combining nodes obtained
+    with an atomic swap on a shared tail.  The thread at the head of
+    that queue becomes the {e combiner} and executes up to
+    [max_combine] pending requests sequentially before handing the
+    combiner role to the next waiting thread.  This is the
+    synchronization engine of the CC-Queue baseline (paper §2): low
+    synchronization traffic, but blocking — a descheduled combiner
+    stalls everyone, which is exactly the weakness the wait-free queue
+    avoids.
+
+    Each participating thread needs its own {!handle} (a recyclable
+    combining node); sharing a handle between threads is unsound. *)
+
+type t
+
+type handle
+
+val create : ?max_combine:int -> unit -> t
+(** [max_combine] (default 1024) bounds how many requests one combiner
+    executes before relinquishing, which bounds unfairness. *)
+
+val handle : t -> handle
+(** A fresh per-thread handle. *)
+
+val apply : t -> handle -> (unit -> 'a) -> 'a
+(** [apply t h f] executes [f] as a critical operation: all [apply]
+    calls on [t] appear to execute sequentially.  [f] runs either on
+    this thread (as combiner) or on another thread that combines for
+    us; it must not itself call [apply] on the same [t]. *)

@@ -1,0 +1,22 @@
+type t = { locked : bool Atomic.t }
+
+let create () = { locked = Atomic.make false }
+let try_acquire t = (not (Atomic.get t.locked)) && Atomic.compare_and_set t.locked false true
+
+let acquire t =
+  let b = Primitives.Backoff.create () in
+  while not (try_acquire t) do
+    Primitives.Backoff.backoff b
+  done
+
+let release t = Atomic.set t.locked false
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | x ->
+    release t;
+    x
+  | exception e ->
+    release t;
+    raise e

@@ -1,0 +1,18 @@
+(** Test-and-test-and-set spinlock with exponential backoff.
+
+    Used by the simplest blocking baseline and by tests; the measured
+    blocking baselines (two-lock queue, mutex queue) use it or
+    [Stdlib.Mutex] as documented per queue. *)
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> unit
+val release : t -> unit
+
+val try_acquire : t -> bool
+(** Non-blocking attempt; true on success. *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Run the thunk under the lock, releasing on exception. *)

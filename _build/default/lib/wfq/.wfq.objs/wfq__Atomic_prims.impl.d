@@ -1,0 +1,1 @@
+lib/wfq/atomic_prims.ml: Primitives

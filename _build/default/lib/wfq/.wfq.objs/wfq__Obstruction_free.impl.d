@@ -1,0 +1,1 @@
+lib/wfq/obstruction_free.ml: Array Atomic

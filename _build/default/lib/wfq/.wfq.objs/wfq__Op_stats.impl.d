@@ -1,0 +1,1 @@
+lib/wfq/op_stats.ml: Format

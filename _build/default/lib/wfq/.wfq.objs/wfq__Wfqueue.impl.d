@@ -1,0 +1,1 @@
+lib/wfq/wfqueue.ml: Atomic_prims Wfqueue_algo

@@ -1,0 +1,1 @@
+lib/wfq/wfqueue.mli: Format Op_stats

@@ -1,0 +1,1 @@
+lib/wfq/wfqueue_algo.ml: Array Atomic Atomic_prims Domain Format Fun Hashtbl List Mutex Op_stats Primitives Printf

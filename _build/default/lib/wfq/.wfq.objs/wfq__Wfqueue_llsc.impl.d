@@ -1,0 +1,1 @@
+lib/wfq/wfqueue_llsc.ml: Atomic_prims Wfqueue_algo

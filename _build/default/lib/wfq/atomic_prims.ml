@@ -1,0 +1,4 @@
+(* Re-export: the primitives signature lives in [Primitives] so that
+   baseline algorithms can also be functorized over it without
+   depending on this library. *)
+include Primitives.Atomic_prims

@@ -1,0 +1,101 @@
+type 'a cell_value = Bottom | Top | Value of 'a
+
+type 'a segment = { id : int; next : 'a segment option Atomic.t; cells : 'a cell_value Atomic.t array }
+
+type 'a t = {
+  first : 'a segment; (* never reclaimed; see interface *)
+  tail_hint : 'a segment Atomic.t;
+  head_hint : 'a segment Atomic.t;
+  tail_index : int Atomic.t;
+  head_index : int Atomic.t;
+  shift : int;
+  mask : int;
+}
+
+let new_segment shift id =
+  { id; next = Atomic.make None; cells = Array.init (1 lsl shift) (fun _ -> Atomic.make Bottom) }
+
+let create ?(segment_shift = 10) () =
+  assert (segment_shift >= 0 && segment_shift <= 20);
+  let first = new_segment segment_shift 0 in
+  {
+    first;
+    tail_hint = Atomic.make first;
+    head_hint = Atomic.make first;
+    tail_index = Atomic.make 0;
+    head_index = Atomic.make 0;
+    shift = segment_shift;
+    mask = (1 lsl segment_shift) - 1;
+  }
+
+(* Locate cell [i], extending the segment list as needed.  The hint is
+   only an optimization: it may lag arbitrarily, and if it has raced
+   ahead of [i] we restart from the permanently retained first
+   segment. *)
+let find_cell t hint i =
+  let target = i lsr t.shift in
+  let start =
+    let s = Atomic.get hint in
+    if s.id <= target then s else t.first
+  in
+  let rec walk s =
+    if s.id = target then s
+    else
+      match Atomic.get s.next with
+      | Some next -> walk next
+      | None ->
+        let fresh = new_segment t.shift (s.id + 1) in
+        if Atomic.compare_and_set s.next None (Some fresh) then walk fresh
+        else walk s
+  in
+  let s = walk start in
+  (* Opportunistically publish a newer hint; never move it backwards. *)
+  let h = Atomic.get hint in
+  if h.id < s.id then ignore (Atomic.compare_and_set hint h s);
+  s.cells.(i land t.mask)
+
+let enqueue_once t v =
+  let i = Atomic.fetch_and_add t.tail_index 1 in
+  let c = find_cell t t.tail_hint i in
+  Atomic.compare_and_set c Bottom (Value v)
+
+(* One dequeue round: claim index [h] and try to take or invalidate its
+   cell, as in Listing 1 lines 6-8. *)
+type 'a deq_round = Took of 'a | Empty | Retry
+
+let dequeue_once t =
+  let h = Atomic.fetch_and_add t.head_index 1 in
+  let c = find_cell t t.head_hint h in
+  if Atomic.compare_and_set c Bottom Top then
+    if Atomic.get t.tail_index > h then Retry else Empty
+  else
+    match Atomic.get c with
+    | Value v -> Took v
+    | Top | Bottom -> (* unreachable: the CAS only fails on a set cell *) assert false
+
+let rec enqueue t v = if not (enqueue_once t v) then enqueue t v
+
+let rec dequeue t =
+  match dequeue_once t with
+  | Took v -> Some v
+  | Empty -> None
+  | Retry -> dequeue t
+
+let try_enqueue t ~attempts v =
+  assert (attempts > 0);
+  let rec go n = n > 0 && (enqueue_once t v || go (n - 1)) in
+  go attempts
+
+let try_dequeue t ~attempts =
+  assert (attempts > 0);
+  let rec go n =
+    if n = 0 then Error `Exhausted
+    else
+      match dequeue_once t with
+      | Took v -> Ok (Some v)
+      | Empty -> Ok None
+      | Retry -> go (n - 1)
+  in
+  go attempts
+
+let approx_length t = max 0 (Atomic.get t.tail_index - Atomic.get t.head_index)

@@ -1,0 +1,38 @@
+(** The paper's Listing 1: an obstruction-free queue over an infinite
+    array, the base algorithm the wait-free queue is derived from.
+
+    Enqueue obtains a cell index with fetch-and-add on the tail index
+    and CASes its value into the cell; dequeue obtains an index with
+    fetch-and-add on the head index and either steals the cell's value
+    or marks the cell unusable with ⊤.  The queue is linearizable and
+    obstruction-free but {e not} lock-free: an enqueuer and a dequeuer
+    can chase each other's indices forever (the livelock interleaving
+    in §3.2 — demonstrated deterministically in the test suite).
+
+    This module exists for exposition, differential testing against
+    {!Wfqueue}, and the livelock demonstration.  It performs no memory
+    reclamation: segments are unlinked only from the front as the head
+    index passes them. *)
+
+type 'a t
+
+val create : ?segment_shift:int -> unit -> 'a t
+(** Segments have [2^segment_shift] cells (default [2^10], as in the
+    paper's evaluation). *)
+
+val enqueue : 'a t -> 'a -> unit
+(** Appends a value.  May loop while contended dequeues invalidate
+    cells (obstruction-freedom only). *)
+
+val dequeue : 'a t -> 'a option
+(** Removes the oldest value, or [None] if the queue is empty. *)
+
+val try_enqueue : 'a t -> attempts:int -> 'a -> bool
+(** Bounded-retry enqueue: at most [attempts] cell acquisitions.  Used
+    by tests to demonstrate that the unbounded version is only
+    obstruction-free. *)
+
+val try_dequeue : 'a t -> attempts:int -> ('a option, [ `Exhausted ]) result
+(** Bounded-retry dequeue; [Ok None] means the queue was empty. *)
+
+val approx_length : 'a t -> int

@@ -1,0 +1,32 @@
+(** Per-handle operation-path counters.
+
+    Table 2 of the paper breaks operations down by execution path
+    (fast-path vs slow-path enqueues/dequeues, and dequeues returning
+    EMPTY).  Each handle owns one [t]; only the owning thread writes
+    it, so the fields are plain mutable ints with no synchronization
+    cost on the operation paths.  Aggregation across handles happens
+    after the threads quiesce. *)
+
+type t = {
+  mutable fast_enqueues : int;
+  mutable slow_enqueues : int;
+  mutable fast_dequeues : int;
+  mutable slow_dequeues : int;
+  mutable empty_dequeues : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add : into:t -> t -> unit
+
+val total_enqueues : t -> int
+val total_dequeues : t -> int
+
+val slow_enqueue_pct : t -> float
+(** Percentage of enqueues completed on the slow path, as in Table 2.
+    0 when no enqueues ran. *)
+
+val slow_dequeue_pct : t -> float
+val empty_dequeue_pct : t -> float
+
+val pp : Format.formatter -> t -> unit

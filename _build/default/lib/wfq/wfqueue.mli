@@ -1,0 +1,206 @@
+(** The wait-free FIFO queue of Yang & Mellor-Crummey (PPoPP 2016),
+    "A Wait-free Queue as Fast as Fetch-and-Add".
+
+    The queue is an "infinite array" of cells, realized as a linked
+    list of fixed-size segments, with unbounded head and tail indices
+    advanced by fetch-and-add.  Operations first run a fast path (one
+    FAA plus one CAS); after [patience] failed fast-path attempts they
+    publish a request and fall back to a helping slow path that is
+    guaranteed to complete, making every operation wait-free
+    (a bounded number of steps regardless of scheduling).  Retired
+    segments are unlinked by the paper's custom reclamation scheme so
+    that the live segment list stays bounded; OCaml's GC then collects
+    them (DESIGN.md §2.4 explains the mapping from free()).
+
+    {1 Handles}
+
+    Every thread (domain) operating on a queue needs a {!handle}
+    holding its segment pointers, helping state, and its slot in the
+    helping ring (the paper's [Handle]).  Obtain one per domain with
+    {!register}; a handle must never be used by two domains
+    concurrently.  The {!push}/{!pop} convenience wrappers register
+    and cache a handle per domain automatically. *)
+
+type 'a t
+type 'a handle
+
+val create :
+  ?patience:int -> ?segment_shift:int -> ?max_garbage:int -> ?reclamation:bool -> unit -> 'a t
+(** Creates an empty queue.
+
+    [patience] is the number of extra fast-path attempts before an
+    operation switches to the wait-free slow path; the paper evaluates
+    [10] (the default, "WF-10") and [0] ("WF-0").
+
+    [segment_shift] sizes segments at [2^segment_shift] cells
+    (default 10, the paper's [N = 2^10]).
+
+    [max_garbage] is the number of retired segments allowed to
+    accumulate before a dequeuer runs the cleanup protocol
+    (default 16).
+
+    [reclamation] (default true) can disable segment unlinking
+    entirely, for the reclamation ablation benchmark. *)
+
+val register : 'a t -> 'a handle
+(** A new handle for the calling domain, inserted into the queue's
+    helping ring.  Cheap enough to call once per domain; do not call
+    per operation. *)
+
+val enqueue : 'a t -> 'a handle -> 'a -> unit
+(** Wait-free enqueue (Listing 3). *)
+
+val dequeue : 'a t -> 'a handle -> 'a option
+(** Wait-free dequeue (Listing 4); [None] means the queue was
+    observed empty (the paper's EMPTY). *)
+
+val push : 'a t -> 'a -> unit
+(** {!enqueue} with a per-domain handle managed internally. *)
+
+val pop : 'a t -> 'a option
+(** {!dequeue} with a per-domain handle managed internally. *)
+
+val approx_length : 'a t -> int
+(** Tail index minus head index, clamped to 0: counts enqueued values
+    not yet claimed by dequeuers.  Exact when quiescent. *)
+
+val patience : 'a t -> int
+
+(** {1 Introspection}
+
+    Used by the Table 2 breakdown, the reclamation tests, and the
+    ablation benchmarks. *)
+
+val stats : 'a t -> Op_stats.t
+(** Sum of all handles' path counters.  Consistent when quiescent. *)
+
+val reset_stats : 'a t -> unit
+
+val handle_stats : 'a handle -> Op_stats.t
+(** The live counters of one handle (owner-written; read when
+    quiescent). *)
+
+val reclaimed_segments : 'a t -> int
+(** Segments unlinked by cleanup since creation. *)
+
+val allocated_segments : 'a t -> int
+(** Segments allocated fresh (not served from the recycling pool). *)
+
+val wasted_segments : 'a t -> int
+(** Segments that lost the append race in [find_cell] (the paper
+    frees those immediately; here they return to the pool). *)
+
+val recycled_segments : 'a t -> int
+(** Segments served from the recycling pool instead of fresh
+    allocation. *)
+
+val pooled_segments : 'a t -> int
+(** Segments currently sitting in the pool. *)
+
+val live_segments : 'a t -> int
+(** Length of the current segment list (walks it; O(live)). *)
+
+val oldest_segment_id : 'a t -> int
+(** The paper's [I]: id of the oldest live segment, or [-1] while a
+    cleanup is in progress. *)
+
+val retire : 'a t -> 'a handle -> unit
+(** Declare the handle's owning thread gone (dead or deregistered):
+    clears its hazard pointer so reclamation can proceed (the paper's
+    §3.6 "thread failure" leak) and removes it from the helping
+    rotation.
+
+    {b Unsound} if the owner is still inside an operation on [q] —
+    the cleared hazard pointer would allow its working segments to be
+    recycled under it.  Call only after the domain has terminated
+    (e.g. after [Domain.join]) or an external failure detector says
+    so.  Retiring every handle is allowed; a retired handle must not
+    be used again. *)
+
+(** {1 Whitebox access}
+
+    On a single-core host, preemption essentially never lands between
+    a fast path's FAA and its CAS, so the slow paths are unreachable
+    through the public API alone.  [Internal] exposes the protocol's
+    intermediate steps so the test suite can drive the slow paths and
+    the helping protocol deterministically: steal a cell the way a
+    contending dequeuer would, publish a request without self-helping,
+    then observe helpers complete it.  Not for production use. *)
+module Internal : sig
+  type 'a cell
+
+  val faa_tail : 'a t -> int
+  (** Fetch-and-add 1 on the tail index T, as a fast-path enqueue
+      does; returns the acquired cell index. *)
+
+  val faa_head : 'a t -> int
+  (** Fetch-and-add 1 on the head index H. *)
+
+  val tail_index : 'a t -> int
+  val head_index : 'a t -> int
+
+  val cell_of : 'a t -> 'a handle -> int -> 'a cell
+  (** Locate cell [i], advancing the handle's tail pointer. *)
+
+  val poison_cell : 'a cell -> bool
+  (** CAS the cell's value from ⊥ to ⊤ — what a dequeuer does to mark
+      a cell unusable.  True if this call performed the transition. *)
+
+  val claim_cell_deq : 'a cell -> bool
+  (** CAS the cell's deq field from ⊥d to ⊤d — how a fast-path
+      dequeue claims a secured value. *)
+
+  val cell_value : 'a cell -> 'a option
+  (** The cell's value if one has been deposited. *)
+
+  val enq_slow : 'a t -> 'a handle -> 'a -> int -> unit
+  (** The slow-path enqueue, with [cell_id] playing the failed
+      fast-path index (the request id). *)
+
+  val deq_slow : 'a t -> 'a handle -> int -> 'a option
+  (** The slow-path dequeue with request id [cell_id]. *)
+
+  val publish_enq_request : 'a handle -> 'a -> int -> unit
+  (** Publish a pending enqueue request without performing the
+      slow-path loop, so that helpers must complete it. *)
+
+  val enq_request_pending : 'a handle -> bool
+  val enq_request_claimed_cell : 'a handle -> int option
+  (** The cell index the request was claimed for, once completed. *)
+
+  val publish_deq_request : 'a handle -> int -> unit
+  val deq_request_pending : 'a handle -> bool
+
+  val help_enq : 'a t -> 'a handle -> 'a cell -> int -> [ `Value of 'a | `Top | `Empty ]
+  (** What a dequeuer runs on every cell it visits (Listing 3). *)
+
+  val help_deq : 'a t -> helper:'a handle -> helpee:'a handle -> unit
+  (** Complete the helpee's published dequeue request (Listing 4). *)
+
+  val deq_request_result : 'a t -> 'a handle -> 'a option
+  (** Read the result cell of a completed dequeue request, advancing
+      H as [deq_slow] would. *)
+
+  val cleanup : 'a t -> 'a handle -> unit
+  (** Run the reclamation protocol (Listing 5) unconditionally of the
+      [max_garbage] threshold check failing due to staleness. *)
+
+  val set_hazard : 'a t -> 'a handle -> [ `Head | `Tail | `Null ] -> unit
+  (** Manipulate the handle's hazard pointer as the operation
+      prologues/epilogues do. *)
+
+  val set_trace : (string -> unit) option -> unit
+  (** Install (or clear) a protocol trace hook: every key transition
+      (FAA ticket, reservation, claim, commit, poison, announce,
+      retire, recycle) reports a line.  Debugging/model-checking
+      only. *)
+
+  val cell_debug : 'a cell -> 'a handle -> string
+  (** One-line description of a cell's three fields; request fields
+      are identified relative to the given handle.  Debugging only. *)
+
+  val debug_dump : 'a t -> Format.formatter -> unit
+  (** Racy snapshot of indices, segment ids and per-handle request
+      states, for diagnosing stuck executions.  Values read without
+      synchronization; only for debugging output. *)
+end

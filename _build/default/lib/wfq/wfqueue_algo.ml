@@ -1,0 +1,1020 @@
+(* The queue algorithm as a functor over its atomic primitives.
+
+   [Wfqueue] instantiates it with hardware atomics; the model-checking
+   harness ([simsched]) instantiates it with simulated atomics whose
+   every access is a preemption point controlled by a test scheduler.
+   Keeping the algorithm text in one place means the code that is
+   model-checked is the code that ships. *)
+
+module Make (A : Atomic_prims.S) = struct
+(* Port of Listings 2-5 of Yang & Mellor-Crummey, "A Wait-free Queue
+   as Fast as Fetch-and-Add" (PPoPP 2016).  Comments of the form
+   "L.nn" refer to line numbers in the paper's listings.
+
+   Representation choices (rationale in DESIGN.md):
+   - the reserved values ⊥/⊤ are constant constructors, so CAS from
+     them is exact physical equality;
+   - the two-word request states (pending, id) are packed into one
+     OCaml int ([Primitives.Packed_state]) and claimed with CAS;
+   - hzdp = null is a sentinel segment with id = max_int, which
+     behaves like null in every comparison the protocol performs;
+   - all cross-thread locations are [A.t] (sequentially
+     consistent), subsuming every fence the paper discusses. *)
+
+module Packed = Primitives.Packed_state
+
+(* Optional protocol tracing, for the model-checking harness: when a
+   hook is installed every key protocol transition reports itself.
+   Off by default and lazy, so the production path only pays a ref
+   read per trace point. *)
+let trace_hook : (string -> unit) option ref = ref None
+let set_trace f = trace_hook := f
+let tracef f = match !trace_hook with None -> () | Some out -> out (f ())
+
+type 'a cell_value = Bottom | Top | Value of 'a
+
+(* An enqueue request (L.10-12): [value] and [state] are two separate
+   words that cannot be read or written together atomically; the
+   protocol in [help_enq] tolerates the resulting mixed reads. *)
+type 'a enq_request = { enq_value : 'a option A.t; enq_state : Packed.t A.t }
+type 'a enq_link = Enq_bottom | Enq_top | Enq_req of 'a enq_request
+
+(* A dequeue request (L.13-15): [id] names the request, [state] packs
+   (pending, idx) where idx is the latest announced candidate cell. *)
+type deq_request = { deq_id : int A.t; deq_state : Packed.t A.t }
+type deq_link = Deq_bottom | Deq_top | Deq_req of deq_request
+
+type 'a cell = {
+  value : 'a cell_value A.t;
+  enq : 'a enq_link A.t;
+  deq : deq_link A.t;
+}
+
+(* [seg_id] is mutable only so that pooled segments can be relabeled
+   while private (between pool pop and publication); every read
+   happens after an atomic publication of the segment, exactly like
+   reads of a freshly initialized one. *)
+type 'a segment = {
+  mutable seg_id : int;
+  uid : int; (* physical identity, stable across pool relabeling *)
+  next : 'a segment option A.t;
+  cells : 'a cell array;
+}
+
+(* Immutable free-list node; see the [pool] field below. *)
+type 'a pool_node = { pooled : 'a segment; rest : 'a pool_node option }
+
+type 'a handle = {
+  hid : int; (* registration order, used only by tracing/debugging *)
+  head : 'a segment A.t;
+  tail : 'a segment A.t;
+  (* Ring link; [None] means "points to itself" so a fresh handle is a
+     singleton ring without a recursive-value knot. *)
+  ring_next : 'a handle option A.t;
+  hzdp : 'a segment A.t;
+  enq_req : 'a enq_request;
+  mutable enq_peer : 'a handle;
+  mutable enq_help_id : int; (* the paper's enq.id helping bookmark *)
+  deq_req : deq_request;
+  mutable deq_peer : 'a handle;
+  retired : bool Atomic.t; (* see [retire]: failed/departed thread *)
+  stats : Op_stats.t;
+}
+
+type 'a t = {
+  q : 'a segment A.t; (* first live segment (the paper's Q) *)
+  tail_index : int A.t; (* T *)
+  head_index : int A.t; (* H *)
+  oldest : int A.t; (* I: id of oldest segment, -1 while cleaning *)
+  ring : 'a handle option A.t; (* registration anchor *)
+  null_segment : 'a segment; (* hzdp sentinel, id = max_int *)
+  patience : int;
+  max_garbage : int;
+  seg_shift : int;
+  seg_mask : int;
+  reclamation : bool;
+  reclaimed : int A.t;
+  allocated : int A.t; (* segments ever allocated fresh *)
+  wasted : int A.t; (* segments that lost the append CAS *)
+  recycled : int A.t; (* segments served from the pool *)
+  (* Free list of retired segments (the paper's free()/free_list goes
+     through the allocator; we recycle explicitly so that the GC is
+     kept off the enqueue/dequeue hot path — DESIGN.md §2.4).  A
+     Treiber stack whose nodes are freshly allocated per push and
+     never reused: that freshness is what makes CAS ABA-safe under
+     GC.  (Threading the stack through the recycled segments' own
+     [next] fields would reuse nodes and reintroduce ABA.) *)
+  pool : 'a pool_node option A.t;
+  pool_size : int A.t;
+  pool_limit : int;
+  (* per-domain handle cache for push/pop, keyed by domain id *)
+  dls_lock : Mutex.t;
+  dls : (int, 'a handle) Hashtbl.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction (L.27-32)                                             *)
+
+let segment_uids = Atomic.make 0
+let handle_uids = Atomic.make 0
+
+let new_cell () =
+  { value = A.make Bottom; enq = A.make Enq_bottom; deq = A.make Deq_bottom }
+
+let new_segment shift seg_id =
+  {
+    seg_id;
+    uid = Atomic.fetch_and_add segment_uids 1;
+    next = A.make None;
+    cells = Array.init (1 lsl shift) (fun _ -> new_cell ());
+  }
+
+let create ?(patience = 10) ?(segment_shift = 10) ?(max_garbage = 16) ?(reclamation = true) () =
+  assert (patience >= 0);
+  assert (segment_shift >= 0 && segment_shift <= 20);
+  assert (max_garbage >= 2);
+  let first = new_segment segment_shift 0 in
+  {
+    q = A.make first;
+    tail_index = A.make 0;
+    head_index = A.make 0;
+    oldest = A.make 0;
+    ring = A.make None;
+    null_segment = { seg_id = max_int; uid = -1; next = A.make None; cells = [||] };
+    patience;
+    max_garbage;
+    seg_shift = segment_shift;
+    seg_mask = (1 lsl segment_shift) - 1;
+    reclamation;
+    reclaimed = A.make 0;
+    allocated = A.make 1;
+    wasted = A.make 0;
+    recycled = A.make 0;
+    pool = A.make None;
+    pool_size = A.make 0;
+    pool_limit = max 32 (4 * max_garbage);
+    dls_lock = Mutex.create ();
+    dls = Hashtbl.create 8;
+  }
+
+let patience t = t.patience
+
+(* ------------------------------------------------------------------ *)
+(* Segment pool                                                       *)
+
+(* Pop a retired segment for reuse; its cells are already reset (done
+   off the hot path when it was retired). *)
+let rec pool_pop q =
+  match A.get q.pool with
+  | None -> None
+  | Some node as top ->
+    if A.compare_and_set q.pool top node.rest then begin
+      ignore (A.fetch_and_add q.pool_size (-1));
+      A.set node.pooled.next None;
+      ignore (A.fetch_and_add q.recycled 1);
+      Some node.pooled
+    end
+    else pool_pop q
+
+(* Return a clean (reset) segment to the pool, unless it is full — in
+   which case the GC simply collects the segment. *)
+let rec pool_push q s =
+  if A.get q.pool_size < q.pool_limit then begin
+    let top = A.get q.pool in
+    if A.compare_and_set q.pool top (Some { pooled = s; rest = top }) then
+      ignore (A.fetch_and_add q.pool_size 1)
+    else pool_push q s
+  end
+
+let reset_segment s =
+  tracef (fun () -> Printf.sprintf "reset: uid=%d seg=%d" s.uid s.seg_id);
+  Array.iter
+    (fun c ->
+      A.set c.value Bottom;
+      A.set c.enq Enq_bottom;
+      A.set c.deq Deq_bottom)
+    s.cells
+
+(* Fresh-or-recycled segment with the given id, private to the caller
+   until it publishes it. *)
+let obtain_segment q seg_id =
+  match pool_pop q with
+  | Some s ->
+    tracef (fun () -> Printf.sprintf "obtain: recycle uid=%d as seg=%d (was %d)" s.uid seg_id s.seg_id);
+    s.seg_id <- seg_id;
+    s
+  | None ->
+    ignore (A.fetch_and_add q.allocated 1);
+    let s = new_segment q.seg_shift seg_id in
+    tracef (fun () -> Printf.sprintf "obtain: fresh uid=%d seg=%d" s.uid seg_id);
+    s
+
+(* ------------------------------------------------------------------ *)
+(* Handle ring                                                        *)
+
+let next_handle h = match A.get h.ring_next with Some n -> n | None -> h
+
+(* Peer advancement skips retired handles (threads that failed or
+   deregistered, §3.6 "thread failure"): helping them is harmless but
+   wasted, and a ring dominated by dead peers would slow the helping
+   rotation.  Falls back to [h] itself when everyone else is gone. *)
+let next_live_handle h =
+  let rec go n =
+    if n == h then n else if Atomic.get n.retired then go (next_handle n) else n
+  in
+  go (next_handle h)
+
+(* Registration adopts the queue's current first segment; to do so
+   safely against concurrent segment recycling it takes the cleanup
+   token (the paper's [I = -1] mutual exclusion), so no cleaner can
+   retire that segment mid-registration.  Registration is a one-time
+   per-thread cost, never on an operation path. *)
+let rec acquire_cleanup_token q =
+  let i = A.get q.oldest in
+  if i >= 0 && A.compare_and_set q.oldest i (-1) then i
+  else begin
+    A.cpu_relax ();
+    acquire_cleanup_token q
+  end
+
+let register q =
+  let token = acquire_cleanup_token q in
+  let seg = A.get q.q in
+  let rec h =
+    {
+      hid = Atomic.fetch_and_add handle_uids 1;
+      head = A.make seg;
+      tail = A.make seg;
+      ring_next = A.make None;
+      hzdp = A.make q.null_segment;
+      enq_req = { enq_value = A.make None; enq_state = A.make Packed.initial };
+      enq_peer = h;
+      enq_help_id = 0;
+      deq_req = { deq_id = A.make 0; deq_state = A.make Packed.initial };
+      deq_peer = h;
+      retired = Atomic.make false;
+      stats = Op_stats.create ();
+    }
+  in
+  let rec link () =
+    match A.get q.ring with
+    | None -> if not (A.compare_and_set q.ring None (Some h)) then link ()
+    | Some anchor ->
+      let succ = A.get anchor.ring_next in
+      let succ_or_anchor = match succ with Some _ -> succ | None -> Some anchor in
+      A.set h.ring_next succ_or_anchor;
+      if not (A.compare_and_set anchor.ring_next succ (Some h)) then link ()
+  in
+  link ();
+  h.enq_peer <- next_live_handle h;
+  h.deq_peer <- next_live_handle h;
+  A.set q.oldest token;
+  h
+
+(* ------------------------------------------------------------------ *)
+(* find_cell (L.33-52) and index advancing (L.53-55)                  *)
+
+(* [sp] is a segment ref whose segment id is <= cell_id / N; after the
+   call it points to the segment containing the cell (the paper's
+   side-effect through the paper's Segment pointer-to-pointer). *)
+let find_cell ?(who = "?") q (sp : 'a segment ref) cell_id =
+  let target = cell_id lsr q.seg_shift in
+  (* A cleaner can advance another thread's head/tail pointer (L.239,
+     "update") concurrently with that thread's operation: its hazard
+     pointer keeps the segments alive, but the advanced pointer may
+     now be past the cell the thread is looking for (slow-path
+     commits and helping look at cells at or before the pointer's old
+     position).  The paper's pseudocode would silently index into the
+     wrong segment in that rare interleaving; we restart from the
+     oldest live segment, which the hazard-pointer protocol
+     guarantees is at or before any cell a thread can legitimately
+     ask for. *)
+  let start = if (!sp).seg_id <= target then !sp else A.get q.q in
+  if start.seg_id > target then
+    invalid_arg
+      (Printf.sprintf
+         "Wfqueue.find_cell[%s]: cell %d is in a reclaimed segment (%d > %d) T=%d H=%d sp=%d" who
+         cell_id start.seg_id target (A.get q.tail_index) (A.get q.head_index)
+         (!sp).seg_id);
+  let rec walk s =
+    if s.seg_id = target then s
+    else if s.seg_id > target then begin
+      (* our segment was retired and relabeled under us: restart from
+         the oldest live segment (always at or before any cell a
+         thread may legitimately ask for) *)
+      let fresh_start = A.get q.q in
+      if fresh_start.seg_id > target then
+        invalid_arg
+          (Printf.sprintf "Wfqueue.find_cell[%s]: cell %d is in a reclaimed segment (%d > %d)"
+             who cell_id fresh_start.seg_id target);
+      walk fresh_start
+    end
+    else begin
+      match A.get s.next with
+      | Some next -> walk next
+      | None ->
+        tracef (fun () ->
+            Printf.sprintf "find_cell[%s]: extend from seg %d toward %d (cell %d)" who s.seg_id
+              target cell_id);
+        let fresh = obtain_segment q (s.seg_id + 1) in
+        if A.compare_and_set s.next None (Some fresh) then walk fresh
+        else begin
+          (* L.42-44: another thread extended the list; ours goes
+             back to the pool (the paper frees it here).  It was
+             never published, so it is still clean. *)
+          ignore (A.fetch_and_add q.wasted 1);
+          pool_push q fresh;
+          walk s
+        end
+    end
+  in
+  let s = walk start in
+  sp := s;
+  s.cells.(cell_id land q.seg_mask)
+
+(* Publish [src]'s current segment as [h]'s hazard pointer and
+   re-validate that [src] still holds it (Michael's hazard-pointer
+   acquire protocol).  Listing 5 publishes without re-validating; a
+   thread descheduled between reading a segment pointer and
+   publishing it can then expose a hazard pointer to an
+   already-reclaimed segment, which a concurrent cleaner would adopt
+   as its reclaim boundary (in the original C this is a read of freed
+   memory).  Re-validation closes the window: a segment still
+   installed in a live head/tail pointer cannot have been reclaimed,
+   and once the hazard pointer to it is visible no cleaner will
+   reclaim it.  The loop re-runs only when a cleanup advanced [src]
+   concurrently, which is itself global progress. *)
+let rec protect_pointer h (src : 'a segment A.t) =
+  let s = A.get src in
+  A.set h.hzdp s;
+  if A.get src == s then s else protect_pointer h src
+
+(* L.53-55: ensure the head or tail index is at or beyond [cid]. *)
+let rec advance_end_for_linearizability index cid =
+  let e = A.get index in
+  if e < cid && not (A.compare_and_set index e cid) then
+    advance_end_for_linearizability index cid
+
+(* ------------------------------------------------------------------ *)
+(* Enqueue (Listing 3)                                                *)
+
+(* L.60-61 *)
+let try_to_claim_req state ~id ~cell_id =
+  A.compare_and_set state (Packed.make ~pending:true ~id)
+    (Packed.make ~pending:false ~id:cell_id)
+
+(* L.62-64 *)
+let enq_commit q c v cid =
+  advance_end_for_linearizability q.tail_index (cid + 1);
+  A.set c.value (Value v)
+
+(* L.65-69: returns None on success, or the failed cell index that
+   becomes the slow-path request id. *)
+let enq_fast q h v =
+  let i = A.fetch_and_add q.tail_index 1 in
+  let sp = ref (A.get h.tail) in
+  tracef (fun () ->
+      Printf.sprintf "h%d enq_fast: ticket %d, tail seg=%d uid=%d hzdp seg=%d" h.hid i (!sp).seg_id
+        (!sp).uid (A.get h.hzdp).seg_id);
+  let c = find_cell ~who:"enq_fast" q sp i in
+  A.set h.tail !sp;
+  if A.compare_and_set c.value Bottom (Value v) then begin
+    tracef (fun () -> Printf.sprintf "h%d enq_fast: deposit at %d" h.hid i);
+    None
+  end
+  else begin
+    tracef (fun () -> Printf.sprintf "h%d enq_fast: cell %d unusable" h.hid i);
+    Some i
+  end
+
+(* L.70-89 *)
+let enq_slow q h v cell_id =
+  (* publish the request: value first, then the pending state *)
+  let r = h.enq_req in
+  tracef (fun () -> Printf.sprintf "h%d enq_slow: publish id=%d" h.hid cell_id);
+  A.set r.enq_value (Some v);
+  A.set r.enq_state (Packed.make ~pending:true ~id:cell_id);
+  (* L.73-75: traverse with a local tail pointer because the claimed
+     cell may be earlier than the last cell visited here. *)
+  let tmp_tail = ref (A.get h.tail) in
+  let rec acquire () =
+    let i = A.fetch_and_add q.tail_index 1 in
+    let c = find_cell ~who:"enq_slow_acq" q tmp_tail i in
+    (* L.79-84, Dijkstra's protocol with the helpers *)
+    if
+      (let won = A.compare_and_set c.enq Enq_bottom (Enq_req r) in
+       tracef (fun () -> Printf.sprintf "h%d enq_slow: reserve cell %d -> %b" h.hid i won);
+       won)
+      && (match A.get c.value with Bottom -> true | Top | Value _ -> false)
+    then begin
+      let claimed = try_to_claim_req r.enq_state ~id:cell_id ~cell_id:i in
+      tracef (fun () -> Printf.sprintf "h%d enq_slow: self-claim at %d -> %b" h.hid i claimed)
+      (* invariant: request claimed (even if the claim CAS failed) *)
+    end
+    else if Packed.pending (A.get r.enq_state) then acquire ()
+  in
+  acquire ();
+  (* L.86-88: the request is claimed for some cell; find it, commit. *)
+  let id = Packed.id (A.get r.enq_state) in
+  tracef (fun () -> Printf.sprintf "h%d enq_slow: committing claimed cell %d" h.hid id);
+  if id < cell_id then
+    failwith
+      (Printf.sprintf "enq_slow: claimed cell %d below request id %d (stale claim)" id cell_id);
+  if id lsr q.seg_shift < (A.get q.q).seg_id then
+    failwith
+      (Printf.sprintf
+         "enq_slow: claimed cell %d (seg %d) reclaimed; req=%d hzdp=%d oldest=%d T=%d" id
+         (id lsr q.seg_shift) cell_id (A.get h.hzdp).seg_id (A.get q.oldest)
+         (A.get q.tail_index));
+  let sp = ref (A.get h.tail) in
+  let c = find_cell ~who:"enq_slow_commit" q sp id in
+  A.set h.tail !sp;
+  enq_commit q c v id
+
+(* L.56-59 *)
+let enqueue_with_hzdp q h v =
+  let rec attempt p =
+    match enq_fast q h v with
+    | None -> h.stats.fast_enqueues <- h.stats.fast_enqueues + 1
+    | Some cell_id ->
+      if p > 0 then attempt (p - 1)
+      else begin
+        enq_slow q h v cell_id;
+        h.stats.slow_enqueues <- h.stats.slow_enqueues + 1
+      end
+  in
+  attempt q.patience
+
+(* ------------------------------------------------------------------ *)
+(* help_enq (L.90-127), called by dequeuers on every visited cell     *)
+
+type 'a help_enq_result = Henq_value of 'a | Henq_top | Henq_empty
+
+let value_as_result c =
+  match A.get c.value with
+  | Value v -> Henq_value v
+  | Top -> Henq_top
+  | Bottom -> assert false (* the cell was already ⊤ or a value *)
+
+let help_enq q h c i =
+  if
+    (not
+       (let poisoned = A.compare_and_set c.value Bottom Top in
+        if poisoned then tracef (fun () -> Printf.sprintf "h%d help_enq: poison cell %d" h.hid i);
+        poisoned))
+    && (match A.get c.value with Value _ -> true | Top | Bottom -> false)
+  then value_as_result c (* L.91: the cell already holds a value *)
+  else begin
+    (* c.value is ⊤: try to complete a slow-path enqueue here. *)
+    (match A.get c.enq with
+    | Enq_req _ | Enq_top -> ()
+    | Enq_bottom ->
+      (* L.94-100: find the peer request to help; at most two rounds *)
+      let rec find_peer () =
+        let p = h.enq_peer in
+        let r = p.enq_req in
+        let s = A.get r.enq_state in
+        if h.enq_help_id = 0 || h.enq_help_id = Packed.id s then (r, s)
+        else begin
+          h.enq_help_id <- 0;
+          h.enq_peer <- next_live_handle p;
+          find_peer ()
+        end
+      in
+      let r, s = find_peer () in
+      let p = h.enq_peer in
+      (* L.101-108 *)
+      if
+        Packed.pending s
+        && Packed.id s <= i
+        && not
+             (let won = A.compare_and_set c.enq Enq_bottom (Enq_req r) in
+              if won then
+                tracef (fun () ->
+                    Printf.sprintf "h%d help_enq: reserved cell %d for peer h%d (req id %d)"
+                      h.hid i p.hid (Packed.id s));
+              won)
+      then h.enq_help_id <- Packed.id s
+      else h.enq_peer <- next_live_handle p;
+      (* L.109-111: close the cell to enqueue helpers if unused *)
+      (match A.get c.enq with
+      | Enq_bottom -> ignore (A.compare_and_set c.enq Enq_bottom Enq_top)
+      | Enq_req _ | Enq_top -> ()));
+    (* invariant: c.enq is a request or ⊤e (L.113) *)
+    match A.get c.enq with
+    | Enq_bottom -> assert false
+    | Enq_top ->
+      (* L.114-116: nobody will fill this cell *)
+      if A.get q.tail_index <= i then Henq_empty else Henq_top
+    | Enq_req r ->
+      (* L.117-127.  Read state before value so the value belongs to
+         request [Packed.id s] or a later one. *)
+      let s = A.get r.enq_state in
+      let v = A.get r.enq_value in
+      if Packed.id s > i then begin
+        (* L.119-122: request unsuitable for this cell *)
+        if
+          (match A.get c.value with Top -> true | Value _ | Bottom -> false)
+          && A.get q.tail_index <= i
+        then Henq_empty
+        else value_as_result c
+      end
+      else begin
+        (* L.123-126.  The paper's second disjunct compares the STALE
+           [s] against (0, i); if the owner's self-claim for this very
+           cell lands between our read of [s] and our claim CAS, the
+           stale comparison misses it, we abandon the cell as ⊤, and
+           the owner then commits into a cell no dequeuer will visit
+           again: the value is lost.  (Found by the model checker —
+           seed-58 interleaving; see DESIGN.md §3.4.)  Re-reading the
+           state closes the race: (0, i) uniquely identifies this
+           request claimed for this cell, because later requests by
+           the same thread have monotonically larger FAA ids, so [v]
+           read above still belongs to it. *)
+        let claimed_by_us = try_to_claim_req r.enq_state ~id:(Packed.id s) ~cell_id:i in
+        if claimed_by_us then
+          tracef (fun () ->
+              Printf.sprintf "h%d help_enq: claimed req (id %d) for cell %d" h.hid (Packed.id s) i);
+        let claimed_for_cell =
+          claimed_by_us
+          || Packed.equal (A.get r.enq_state) (Packed.make ~pending:false ~id:i)
+             && (match A.get c.value with Top -> true | Value _ | Bottom -> false)
+        in
+        if claimed_for_cell then begin
+          match v with
+          | Some v ->
+            tracef (fun () -> Printf.sprintf "h%d help_enq: commit value at cell %d" h.hid i);
+            enq_commit q c v i
+          | None -> assert false (* a claimed request had its value published *)
+        end;
+        value_as_result c (* L.127 *)
+      end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Dequeue (Listing 4)                                                *)
+
+type 'a deq_fast_result = Dq_value of 'a | Dq_empty | Dq_fail of int
+
+(* L.140-148 *)
+let deq_fast q h =
+  let i = A.fetch_and_add q.head_index 1 in
+  let sp = ref (A.get h.head) in
+  let c = find_cell ~who:"deq_fast" q sp i in
+  A.set h.head !sp;
+  match help_enq q h c i with
+  | Henq_empty ->
+    tracef (fun () -> Printf.sprintf "h%d deq_fast: cell %d EMPTY" h.hid i);
+    Dq_empty
+  | Henq_value v when A.compare_and_set c.deq Deq_bottom Deq_top ->
+    tracef (fun () -> Printf.sprintf "h%d deq_fast: took value at cell %d" h.hid i);
+    Dq_value v
+  | Henq_value _ | Henq_top ->
+    tracef (fun () -> Printf.sprintf "h%d deq_fast: failed at cell %d" h.hid i);
+    Dq_fail i
+
+(* L.158-205 *)
+let help_deq q h helpee =
+  let r = helpee.deq_req in
+  let s = ref (A.get r.deq_state) in
+  let id = A.get r.deq_id in
+  (* L.162: no help needed (not pending, or a stale mixed read) *)
+  if Packed.pending !s && Packed.id !s >= id then begin
+    (* L.163-165: local segment pointer for announced cells; publish
+       it as our hazard pointer (validated, see protect_pointer),
+       then re-read the request state. *)
+    let ha = ref (protect_pointer h helpee.head) in
+    s := A.get r.deq_state;
+    let prior = ref id and i = ref id and cand = ref 0 in
+    let finished = ref false in
+    while not !finished do
+      (* L.168-180: search for a candidate cell, unless one is already
+         announced.  [hc] is a second local segment pointer so that
+         [ha] is not advanced past announced cells. *)
+      let hc = ref !ha in
+      while !cand = 0 && Packed.id !s = !prior do
+        incr i;
+        let c = find_cell ~who:"help_deq_cand" q hc !i in
+        match help_enq q h c !i with
+        | Henq_empty -> cand := !i
+        | Henq_value _
+          when (match A.get c.deq with Deq_bottom -> true | Deq_top | Deq_req _ -> false)
+          -> cand := !i
+        | Henq_value _ | Henq_top -> s := A.get r.deq_state
+      done;
+      if !cand <> 0 then begin
+        (* L.181-185: try to announce our candidate *)
+        let announced =
+          A.compare_and_set r.deq_state
+            (Packed.make ~pending:true ~id:!prior)
+            (Packed.make ~pending:true ~id:!cand)
+        in
+        if announced then
+          tracef (fun () ->
+              Printf.sprintf "h%d help_deq(h%d): announce cell %d" h.hid helpee.hid !cand);
+        s := A.get r.deq_state
+      end;
+      (* L.187-188: someone completed the request, or it was replaced *)
+      if (not (Packed.pending !s)) || A.get r.deq_id <> id then finished := true
+      else begin
+        (* L.189-199: inspect the announced candidate *)
+        let c = find_cell ~who:"help_deq_ann" q ha (Packed.id !s) in
+        let satisfied =
+          (match A.get c.value with Top -> true | Value _ | Bottom -> false)
+          || A.compare_and_set c.deq Deq_bottom (Deq_req r)
+          || (match A.get c.deq with Deq_req r' -> r' == r | Deq_bottom | Deq_top -> false)
+        in
+        if satisfied then begin
+          let closed =
+            A.compare_and_set r.deq_state !s (Packed.make ~pending:false ~id:(Packed.id !s))
+          in
+          if closed then
+            tracef (fun () ->
+                Printf.sprintf "h%d help_deq(h%d): closed at cell %d" h.hid helpee.hid
+                  (Packed.id !s));
+          finished := true
+        end
+        else begin
+          (* L.200-204 *)
+          prior := Packed.id !s;
+          if Packed.id !s >= !i then begin
+            cand := 0;
+            i := Packed.id !s
+          end
+        end
+      end
+    done
+  end
+
+(* L.149-157 *)
+let deq_slow q h cell_id =
+  let r = h.deq_req in
+  tracef (fun () -> Printf.sprintf "h%d deq_slow: publish id=%d" h.hid cell_id);
+  A.set r.deq_id cell_id;
+  A.set r.deq_state (Packed.make ~pending:true ~id:cell_id);
+  help_deq q h h;
+  let i = Packed.id (A.get r.deq_state) in
+  let sp = ref (A.get h.head) in
+  let c = find_cell ~who:"deq_slow_res" q sp i in
+  A.set h.head !sp;
+  let v = A.get c.value in
+  advance_end_for_linearizability q.head_index (i + 1);
+  match v with
+  | Top -> None
+  | Value v -> Some v
+  | Bottom -> assert false (* the request completed at this cell *)
+
+(* L.128-139 *)
+let dequeue_with_hzdp q h =
+  let rec attempt p =
+    match deq_fast q h with
+    | Dq_value v ->
+      h.stats.fast_dequeues <- h.stats.fast_dequeues + 1;
+      Some v
+    | Dq_empty ->
+      h.stats.fast_dequeues <- h.stats.fast_dequeues + 1;
+      h.stats.empty_dequeues <- h.stats.empty_dequeues + 1;
+      None
+    | Dq_fail cell_id ->
+      if p > 0 then attempt (p - 1)
+      else begin
+        let v = deq_slow q h cell_id in
+        h.stats.slow_dequeues <- h.stats.slow_dequeues + 1;
+        (match v with
+        | None -> h.stats.empty_dequeues <- h.stats.empty_dequeues + 1
+        | Some _ -> ());
+        v
+      end
+  in
+  let v = attempt q.patience in
+  (* L.135-138: a successful dequeue helps its dequeue peer *)
+  (match v with
+  | Some _ ->
+    help_deq q h h.deq_peer;
+    h.deq_peer <- next_live_handle h.deq_peer
+  | None -> ());
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Memory reclamation (Listing 5)                                     *)
+
+let is_null_hzdp q seg = seg == q.null_segment
+
+(* L.248-249 *)
+let verify q (seg : 'a segment ref) hzdp =
+  if (not (is_null_hzdp q hzdp)) && hzdp.seg_id < (!seg).seg_id then seg := hzdp
+
+(* L.239-247: try to advance a handle's head or tail pointer so an
+   idle thread does not block reclamation (Dijkstra's protocol with
+   the pointer's owner). *)
+let update q (from_ : 'a segment A.t) (to_ : 'a segment ref) owner =
+  let n = A.get from_ in
+  if n.seg_id < (!to_).seg_id then begin
+    if not (A.compare_and_set from_ n !to_) then begin
+      let n' = A.get from_ in
+      if n'.seg_id < (!to_).seg_id then to_ := n'
+    end;
+    verify q to_ (A.get owner.hzdp)
+  end
+
+(* L.222-238.  One deliberate strengthening over the pseudocode: §3.6
+   states that a segment is retired only once "both T and H have
+   moved past i×N", but Listing 5 derives the reclaim candidate [e]
+   from head pointers alone.  Under a drained queue (H far ahead of
+   T) that lets [e] pass segments that future enqueues, whose FAA
+   tickets trail H, must still reach.  We cap [e] at
+   segment(min(T,H)/N) to enforce the stated condition. *)
+let cleanup q h =
+  let i = A.get q.oldest in
+  let e = ref (A.get h.head) in
+  let bound = min (A.get q.tail_index) (A.get q.head_index) lsr q.seg_shift in
+  if
+    i >= 0
+    && min (!e).seg_id bound - i >= q.max_garbage
+    && A.compare_and_set q.oldest i (-1)
+  then begin
+    (* From here we hold the cleanup token (oldest = -1); restore it
+       on any exception so a failed cleaner cannot wedge registration
+       and future cleanups. *)
+    let token_released = ref false in
+    let release_token value =
+      A.set q.oldest value;
+      token_released := true
+    in
+    Fun.protect ~finally:(fun () -> if not !token_released then A.set q.oldest i)
+    @@ fun () ->
+    (* walk from the oldest segment to the bound if the cleaner's own
+       head is beyond it (T and H only grow, so this is conservative) *)
+    if (!e).seg_id > bound then begin
+      let s = ref (A.get q.q) in
+      while (!s).seg_id < bound do
+        match A.get (!s).next with
+        | Some n -> s := n
+        | None -> assert false (* the chain spans [oldest, e] *)
+      done;
+      e := !s
+    end;
+    (* The paper's scan covers every handle except the cleaner's own
+       (p starts at h->next): a cleaner that rarely enqueues would
+       retire segments while its own stale tail still points inside
+       them, and its next enqueue would traverse retired memory
+       (found by the model checker, seed-393 interleaving; DESIGN.md
+       §3.5).  Advance our own pointers first; our hzdp is null here,
+       so this cannot cap [e]. *)
+    update q h.tail e h;
+    update q h.head e h;
+    let visited = ref [] in
+    (* forward traversal over the handle ring *)
+    let p = ref (next_handle h) in
+    while !p != h && (!e).seg_id > i do
+      verify q e (A.get (!p).hzdp);
+      update q (!p).head e !p;
+      update q (!p).tail e !p;
+      visited := !p :: !visited;
+      p := next_handle !p
+    done;
+    (* L.234-235: reverse traversal catches hazard-pointer "backward
+       jumps" (a helper adopting a peer's older head) that happened
+       during the forward pass.  [visited] is already in reverse
+       order. *)
+    let rec backward = function
+      | [] -> ()
+      | ph :: rest ->
+        if (!e).seg_id > i then begin
+          verify q e (A.get ph.hzdp);
+          backward rest
+        end
+    in
+    backward !visited;
+    if (!e).seg_id <= i then release_token i (* nothing reclaimable; reopen *)
+    else begin
+      (* Unlink segments [i, e.id) and recycle them (the paper's
+         free_list): after the verify scans no thread can reach them,
+         so resetting and reusing is safe for the same reason free()
+         is safe in the original.  Collect first — pushing to the
+         pool reuses the next fields the walk follows. *)
+      let first = A.get q.q in
+      tracef (fun () ->
+          Printf.sprintf "h%d cleanup: retiring segs [%d,%d) (uids %d..)" h.hid first.seg_id
+            (!e).seg_id first.uid);
+      A.set q.q !e;
+      release_token (!e).seg_id;
+      ignore (A.fetch_and_add q.reclaimed ((!e).seg_id - i));
+      let retired = ref [] in
+      let cursor = ref first in
+      while !cursor != !e do
+        retired := !cursor :: !retired;
+        cursor :=
+          (match A.get (!cursor).next with
+          | Some n -> n
+          | None -> assert false (* the chain reaches e *))
+      done;
+      List.iter
+        (fun seg ->
+          reset_segment seg;
+          pool_push q seg)
+        !retired
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public operations: Listing 5's hazard-pointer augmentation         *)
+
+let enqueue q h v =
+  ignore (protect_pointer h h.tail);
+  enqueue_with_hzdp q h v;
+  A.set h.hzdp q.null_segment
+
+let dequeue q h =
+  ignore (protect_pointer h h.head);
+  let v = dequeue_with_hzdp q h in
+  A.set h.hzdp q.null_segment;
+  if q.reclamation then cleanup q h;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Implicit per-domain handles                                        *)
+
+let domain_handle q =
+  let id = (Domain.self () :> int) in
+  Mutex.lock q.dls_lock;
+  let h =
+    match Hashtbl.find_opt q.dls id with
+    | Some h -> h
+    | None ->
+      let h = register q in
+      Hashtbl.add q.dls id h;
+      h
+  in
+  Mutex.unlock q.dls_lock;
+  h
+
+let push q v = enqueue q (domain_handle q) v
+let pop q = dequeue q (domain_handle q)
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                      *)
+
+let approx_length q = max 0 (A.get q.tail_index - A.get q.head_index)
+
+let fold_handles q f acc =
+  match A.get q.ring with
+  | None -> acc
+  | Some first ->
+    let rec go h acc =
+      let acc = f acc h in
+      let n = next_handle h in
+      if n == first then acc else go n acc
+    in
+    go first acc
+
+let stats q =
+  let total = Op_stats.create () in
+  fold_handles q
+    (fun () h -> Op_stats.add ~into:total h.stats)
+    ();
+  total
+
+let reset_stats q = fold_handles q (fun () h -> Op_stats.reset h.stats) ()
+let handle_stats h = h.stats
+let reclaimed_segments q = A.get q.reclaimed
+let allocated_segments q = A.get q.allocated
+let wasted_segments q = A.get q.wasted
+let recycled_segments q = A.get q.recycled
+let pooled_segments q = A.get q.pool_size
+
+let live_segments q =
+  let rec count s acc =
+    match A.get s.next with Some n -> count n (acc + 1) | None -> acc + 1
+  in
+  count (A.get q.q) 0
+
+let oldest_segment_id q = A.get q.oldest
+
+(* The paper's §3.6 "thread failure" gap: a thread that dies (or
+   departs) mid-operation leaves its hazard pointer set and blocks
+   reclamation forever (the paper defers to DEBRA as future work).
+   [retire] is the recovery hook: it clears the handle's hazard
+   pointer and marks it so the helping rotation skips it.  Calling it
+   on a handle whose owner is actually still running an operation is
+   unsound (the cleared hazard pointer could let its segments be
+   recycled under it) — callers must know the thread is gone, e.g.
+   after Domain.join or a failure detector. *)
+let retire q h =
+  Atomic.set h.retired true;
+  A.set h.hzdp q.null_segment
+
+(* ------------------------------------------------------------------ *)
+(* Whitebox access for deterministic slow-path tests (see .mli)       *)
+
+module Internal = struct
+  type nonrec 'a cell = 'a cell
+
+  let faa_tail q = A.fetch_and_add q.tail_index 1
+  let faa_head q = A.fetch_and_add q.head_index 1
+  let tail_index q = A.get q.tail_index
+  let head_index q = A.get q.head_index
+
+  let cell_of q h i =
+    let sp = ref (A.get h.tail) in
+    let c = find_cell ~who:"internal_cell" q sp i in
+    A.set h.tail !sp;
+    c
+
+  let poison_cell c = A.compare_and_set c.value Bottom Top
+  let claim_cell_deq c = A.compare_and_set c.deq Deq_bottom Deq_top
+
+  let cell_value c =
+    match A.get c.value with Value v -> Some v | Top | Bottom -> None
+
+  let enq_slow = enq_slow
+  let deq_slow = deq_slow
+
+  let publish_enq_request h v cell_id =
+    let r = h.enq_req in
+    A.set r.enq_value (Some v);
+    A.set r.enq_state (Packed.make ~pending:true ~id:cell_id)
+
+  let enq_request_pending h = Packed.pending (A.get h.enq_req.enq_state)
+
+  let enq_request_claimed_cell h =
+    let s = A.get h.enq_req.enq_state in
+    if Packed.pending s then None else Some (Packed.id s)
+
+  let publish_deq_request h cell_id =
+    let r = h.deq_req in
+    A.set r.deq_id cell_id;
+    A.set r.deq_state (Packed.make ~pending:true ~id:cell_id)
+
+  let deq_request_pending h = Packed.pending (A.get h.deq_req.deq_state)
+
+  let help_enq q h c i =
+    match help_enq q h c i with
+    | Henq_value v -> `Value v
+    | Henq_top -> `Top
+    | Henq_empty -> `Empty
+
+  let help_deq q ~helper ~helpee = help_deq q helper helpee
+
+  let deq_request_result q h =
+    let i = Packed.id (A.get h.deq_req.deq_state) in
+    let sp = ref (A.get h.head) in
+    let c = find_cell ~who:"internal_res" q sp i in
+    A.set h.head !sp;
+    let v = A.get c.value in
+    advance_end_for_linearizability q.head_index (i + 1);
+    match v with Top -> None | Value v -> Some v | Bottom -> None
+
+  let cleanup = cleanup
+
+  let cell_debug c h =
+    let value = match A.get c.value with Bottom -> "bot" | Top -> "TOP" | Value _ -> "VAL" in
+    let enq =
+      match A.get c.enq with
+      | Enq_bottom -> "bot"
+      | Enq_top -> "TOP"
+      | Enq_req r -> if r == h.enq_req then "REQ(this)" else "REQ(other)"
+    in
+    let deq =
+      match A.get c.deq with
+      | Deq_bottom -> "bot"
+      | Deq_top -> "TOP"
+      | Deq_req r -> if r == h.deq_req then "DREQ(this)" else "DREQ(other)"
+    in
+    Printf.sprintf "val=%s enq=%s deq=%s" value enq deq
+
+  let debug_dump q ppf =
+    let seg_id_of s = if s == q.null_segment then -999 else s.seg_id in
+    Format.fprintf ppf "T=%d H=%d oldest=%d q.q=%d pool=%d alloc=%d recycled=%d reclaimed=%d@."
+      (A.get q.tail_index) (A.get q.head_index) (A.get q.oldest)
+      (A.get q.q).seg_id (A.get q.pool_size) (A.get q.allocated)
+      (A.get q.recycled) (A.get q.reclaimed);
+    match A.get q.ring with
+    | None -> Format.fprintf ppf "(no handles)@."
+    | Some first ->
+      let rec go h idx =
+        let es = A.get h.enq_req.enq_state in
+        let ds = A.get h.deq_req.deq_state in
+        Format.fprintf ppf
+          "h%d: head=%d tail=%d hzdp=%d enq_req=%a deq_req=(id=%d,%a) help_id=%d %s@." idx
+          (A.get h.head).seg_id (A.get h.tail).seg_id
+          (seg_id_of (A.get h.hzdp))
+          Packed.pp es
+          (A.get h.deq_req.deq_id)
+          Packed.pp ds h.enq_help_id
+          (Format.asprintf "%a" Op_stats.pp h.stats);
+        let n = next_handle h in
+        if n != first then go n (idx + 1)
+      in
+      go first 0
+
+  let set_trace = set_trace
+
+  let set_hazard q h which =
+    match which with
+    | `Head -> A.set h.hzdp (A.get h.head)
+    | `Tail -> A.set h.hzdp (A.get h.tail)
+    | `Null -> A.set h.hzdp q.null_segment
+end
+
+end

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Atomic Baselines Domain List QCheck QCheck_alcotest Queue

@@ -1,0 +1,1 @@
+test/test_lincheck.ml: Alcotest Array Domain Hashtbl Lincheck List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_linearizability.ml: Alcotest Array Atomic Baselines Domain Format Int64 Lincheck List Primitives Result Sync Wfq

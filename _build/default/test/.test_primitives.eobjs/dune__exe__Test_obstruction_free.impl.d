@@ -1,0 +1,1 @@
+test/test_obstruction_free.ml: Alcotest Atomic Domain List Wfq

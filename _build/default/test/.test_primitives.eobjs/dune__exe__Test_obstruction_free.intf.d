@@ -1,0 +1,1 @@
+test/test_obstruction_free.mli:

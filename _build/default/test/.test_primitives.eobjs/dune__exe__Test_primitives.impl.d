@@ -1,0 +1,1 @@
+test/test_primitives.ml: Alcotest Primitives QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_reclamation.ml: Alcotest Array Domain List Printf Wfq

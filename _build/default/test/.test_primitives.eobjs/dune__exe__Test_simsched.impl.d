@@ -1,0 +1,1 @@
+test/test_simsched.ml: Alcotest Array Atomic Int64 Lincheck List Primitives Printf QCheck QCheck_alcotest Simsched String

@@ -1,0 +1,1 @@
+test/test_wfqueue.ml: Alcotest Domain Gen List QCheck QCheck_alcotest Queue Test Wfq

@@ -1,0 +1,1 @@
+test/test_wfqueue_concurrent.ml: Alcotest Array Atomic Domain Hashtbl Int64 List Primitives Wfq

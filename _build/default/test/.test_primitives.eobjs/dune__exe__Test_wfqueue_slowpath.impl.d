@@ -1,0 +1,1 @@
+test/test_wfqueue_slowpath.ml: Alcotest List Wfq

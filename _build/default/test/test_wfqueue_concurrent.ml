@@ -1,0 +1,230 @@
+(* Concurrent integration tests for the wait-free queue: no values
+   lost or duplicated, per-producer order preserved, mixed workloads,
+   and aggressive configurations (tiny segments, zero patience,
+   minimal garbage threshold) that maximize protocol interleavings
+   under oversubscription. *)
+
+module W = Wfq.Wfqueue
+
+let check = Alcotest.check
+
+(* Spawn producers and consumers; verify the multiset of consumed
+   values equals the multiset produced and that each producer's values
+   arrive in order. *)
+let mpmc_run ~patience ~segment_shift ~max_garbage ~nprod ~ncons ~per_producer () =
+  let q = W.create ~patience ~segment_shift ~max_garbage () in
+  let total = nprod * per_producer in
+  let consumed = Atomic.make 0 in
+  (* consumed values, per consumer, in consumption order *)
+  let logs = Array.make ncons [] in
+  let producers =
+    List.init nprod (fun p ->
+        Domain.spawn (fun () ->
+            let h = W.register q in
+            for i = 0 to per_producer - 1 do
+              W.enqueue q h ((p * per_producer) + i)
+            done))
+  in
+  let consumers =
+    List.init ncons (fun c ->
+        Domain.spawn (fun () ->
+            let h = W.register q in
+            let mine = ref [] in
+            let continue = ref true in
+            while !continue do
+              match W.dequeue q h with
+              | Some v ->
+                mine := v :: !mine;
+                if Atomic.fetch_and_add consumed 1 = total - 1 then continue := false
+              | None -> if Atomic.get consumed >= total then continue := false
+            done;
+            logs.(c) <- List.rev !mine))
+  in
+  List.iter Domain.join producers;
+  List.iter Domain.join consumers;
+  check Alcotest.int "all values consumed" total (Atomic.get consumed);
+  (* no duplicates, nothing invented *)
+  let seen = Hashtbl.create total in
+  Array.iter
+    (List.iter (fun v ->
+         if Hashtbl.mem seen v then Alcotest.failf "value %d consumed twice" v;
+         if v < 0 || v >= total then Alcotest.failf "value %d never produced" v;
+         Hashtbl.add seen v ()))
+    logs;
+  check Alcotest.int "every value consumed once" total (Hashtbl.length seen);
+  (* per-producer order: within one consumer's log, values of the same
+     producer must appear in increasing order (FIFO implies this
+     projection is ordered) *)
+  Array.iter
+    (fun log ->
+      let last = Hashtbl.create nprod in
+      List.iter
+        (fun v ->
+          let p = v / per_producer in
+          (match Hashtbl.find_opt last p with
+          | Some prev when prev >= v ->
+            Alcotest.failf "producer %d order violated: %d then %d" p prev v
+          | Some _ | None -> ());
+          Hashtbl.replace last p v)
+        log)
+    logs;
+  q
+
+let test_mpmc_default () =
+  ignore (mpmc_run ~patience:10 ~segment_shift:8 ~max_garbage:8 ~nprod:4 ~ncons:4 ~per_producer:20_000 ())
+
+let test_mpmc_patience_zero () =
+  ignore (mpmc_run ~patience:0 ~segment_shift:6 ~max_garbage:4 ~nprod:4 ~ncons:4 ~per_producer:15_000 ())
+
+let test_mpmc_tiny_segments () =
+  ignore (mpmc_run ~patience:1 ~segment_shift:2 ~max_garbage:2 ~nprod:3 ~ncons:3 ~per_producer:5_000 ())
+
+let test_mpmc_asymmetric_many_consumers () =
+  ignore (mpmc_run ~patience:0 ~segment_shift:5 ~max_garbage:4 ~nprod:2 ~ncons:8 ~per_producer:15_000 ())
+
+let test_mpmc_asymmetric_many_producers () =
+  ignore (mpmc_run ~patience:0 ~segment_shift:5 ~max_garbage:4 ~nprod:8 ~ncons:2 ~per_producer:6_000 ())
+
+let test_spsc () =
+  ignore (mpmc_run ~patience:10 ~segment_shift:6 ~max_garbage:4 ~nprod:1 ~ncons:1 ~per_producer:100_000 ())
+
+let test_all_roles_mixed () =
+  (* every domain both enqueues and dequeues (the paper's benchmark
+     shape), with randomized op choice *)
+  let q = W.create ~patience:2 ~segment_shift:6 ~max_garbage:4 () in
+  let threads = 8 in
+  let per_thread = 20_000 in
+  let produced = Atomic.make 0 and consumed = Atomic.make 0 in
+  let workers =
+    List.init threads (fun t ->
+        Domain.spawn (fun () ->
+            let h = W.register q in
+            let rng = Primitives.Splitmix64.create (Int64.of_int (t + 1)) in
+            for i = 0 to per_thread - 1 do
+              if Primitives.Splitmix64.bool rng then begin
+                W.enqueue q h ((t * per_thread) + i);
+                ignore (Atomic.fetch_and_add produced 1)
+              end
+              else
+                match W.dequeue q h with
+                | Some _ -> ignore (Atomic.fetch_and_add consumed 1)
+                | None -> ()
+            done))
+  in
+  List.iter Domain.join workers;
+  (* drain what remains *)
+  let h = W.register q in
+  let rec drain n = match W.dequeue q h with Some _ -> drain (n + 1) | None -> n in
+  let drained = drain 0 in
+  check Alcotest.int "conservation of values" (Atomic.get produced)
+    (Atomic.get consumed + drained)
+
+let test_concurrent_registration () =
+  (* registering while others are mid-flight must be safe (handles
+     join the helping ring dynamically) *)
+  let q = W.create ~patience:0 ~segment_shift:5 ~max_garbage:2 () in
+  let stop = Atomic.make false in
+  let churners =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            let h = W.register q in
+            let ops = ref 0 in
+            while not (Atomic.get stop) do
+              W.enqueue q h !ops;
+              ignore (W.dequeue q h);
+              incr ops
+            done;
+            !ops))
+  in
+  let registrars =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            let handles = List.init 50 (fun _ -> W.register q) in
+            List.length handles))
+  in
+  let registered = List.fold_left (fun acc d -> acc + Domain.join d) 0 registrars in
+  Atomic.set stop true;
+  let churned = List.fold_left (fun acc d -> acc + Domain.join d) 0 churners in
+  check Alcotest.int "registrations completed" 150 registered;
+  check Alcotest.bool "churners progressed" true (churned > 0)
+
+let test_helping_under_preemption_storm () =
+  (* Oversubscribe aggressively with patience 0: descheduled threads
+     force the survivors through the helping paths. *)
+  let q = W.create ~patience:0 ~segment_shift:4 ~max_garbage:2 () in
+  let threads = 16 in
+  let per_thread = 4_000 in
+  let total = threads * per_thread in
+  let consumed = Atomic.make 0 in
+  let workers =
+    List.init threads (fun t ->
+        Domain.spawn (fun () ->
+            let h = W.register q in
+            for i = 0 to per_thread - 1 do
+              W.enqueue q h ((t * per_thread) + i)
+            done;
+            let continue = ref true in
+            while !continue do
+              match W.dequeue q h with
+              | Some _ ->
+                if Atomic.fetch_and_add consumed 1 = total - 1 then continue := false
+              | None -> if Atomic.get consumed >= total then continue := false
+            done))
+  in
+  List.iter Domain.join workers;
+  check Alcotest.int "nothing lost under storm" total (Atomic.get consumed)
+
+let test_llsc_variant_mpmc () =
+  (* the paper's Power7 configuration: FAA emulated with CAS retries
+     (lock-free, not wait-free); same correctness obligations *)
+  let module L = Wfq.Wfqueue_llsc in
+  let q = L.create ~patience:2 ~segment_shift:5 ~max_garbage:4 () in
+  let nprod = 3 and ncons = 3 and n = 10_000 in
+  let total = nprod * n in
+  let consumed = Atomic.make 0 and sum = Atomic.make 0 in
+  let producers =
+    List.init nprod (fun p ->
+        Domain.spawn (fun () ->
+            let h = L.register q in
+            for i = 0 to n - 1 do
+              L.enqueue q h ((p * n) + i)
+            done))
+  in
+  let consumers =
+    List.init ncons (fun _ ->
+        Domain.spawn (fun () ->
+            let h = L.register q in
+            let continue = ref true in
+            while !continue do
+              match L.dequeue q h with
+              | Some v ->
+                ignore (Atomic.fetch_and_add sum v);
+                if Atomic.fetch_and_add consumed 1 = total - 1 then continue := false
+              | None -> if Atomic.get consumed >= total then continue := false
+            done))
+  in
+  List.iter Domain.join producers;
+  List.iter Domain.join consumers;
+  check Alcotest.int "all values" total (Atomic.get consumed);
+  check Alcotest.int "checksum" (total * (total - 1) / 2) (Atomic.get sum)
+
+let () =
+  Alcotest.run "wfqueue_concurrent"
+    [
+      ( "mpmc",
+        [
+          Alcotest.test_case "default config" `Quick test_mpmc_default;
+          Alcotest.test_case "patience 0" `Quick test_mpmc_patience_zero;
+          Alcotest.test_case "tiny segments" `Quick test_mpmc_tiny_segments;
+          Alcotest.test_case "many consumers" `Quick test_mpmc_asymmetric_many_consumers;
+          Alcotest.test_case "many producers" `Quick test_mpmc_asymmetric_many_producers;
+          Alcotest.test_case "spsc" `Quick test_spsc;
+        ] );
+      ( "mixed",
+        [
+          Alcotest.test_case "mixed roles" `Quick test_all_roles_mixed;
+          Alcotest.test_case "concurrent registration" `Quick test_concurrent_registration;
+          Alcotest.test_case "preemption storm" `Quick test_helping_under_preemption_storm;
+          Alcotest.test_case "llsc (Power7) variant" `Quick test_llsc_variant_mpmc;
+        ] );
+    ]

@@ -1,0 +1,265 @@
+(* Deterministic whitebox tests of the wait-free machinery.  On this
+   single-core host, preemption (the only source of interleaving)
+   essentially never lands inside the two-instruction fast-path
+   window, so the slow paths are driven explicitly through
+   Wfqueue.Internal: we play the contending dequeuer/enqueuer roles
+   by hand and check every protocol outcome the paper describes. *)
+
+module W = Wfq.Wfqueue
+module I = W.Internal
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Slow-path enqueue                                                  *)
+
+let test_enq_slow_after_poisoned_cell () =
+  let q = W.create ~patience:0 () in
+  let h = W.register q in
+  (* a contending dequeuer tops the cell the fast path acquired *)
+  let i = I.faa_tail q in
+  let c = I.cell_of q h i in
+  check Alcotest.bool "poison" true (I.poison_cell c);
+  I.enq_slow q h 42 i;
+  check Alcotest.(option int) "value lands elsewhere" (Some 42) (W.dequeue q h);
+  check Alcotest.(option int) "nothing extra" None (W.dequeue q h)
+
+let test_enq_slow_claims_one_cell_only () =
+  let q = W.create ~patience:0 () in
+  let h = W.register q in
+  let i = I.faa_tail q in
+  let c = I.cell_of q h i in
+  ignore (I.poison_cell c);
+  I.enq_slow q h 7 i;
+  (match I.enq_request_claimed_cell h with
+  | Some cell -> check Alcotest.bool "claimed beyond request id" true (cell > i)
+  | None -> Alcotest.fail "request still pending after enq_slow");
+  (* exactly one copy of the value must be dequeued *)
+  check Alcotest.(option int) "one copy" (Some 7) (W.dequeue q h);
+  check Alcotest.(option int) "only one" None (W.dequeue q h)
+
+let test_enq_slow_survives_many_poisoned_cells () =
+  let q = W.create ~patience:0 ~segment_shift:3 () in
+  let h = W.register q in
+  (* poison a long run of cells, crossing segments *)
+  let first = I.faa_tail q in
+  ignore (I.poison_cell (I.cell_of q h first));
+  for _ = 1 to 40 do
+    let i = I.faa_tail q in
+    ignore (I.poison_cell (I.cell_of q h i))
+  done;
+  I.enq_slow q h 99 first;
+  check Alcotest.(option int) "value survives" (Some 99) (W.dequeue q h)
+
+let test_tail_index_advances_past_claimed () =
+  let q = W.create ~patience:0 () in
+  let h = W.register q in
+  let i = I.faa_tail q in
+  ignore (I.poison_cell (I.cell_of q h i));
+  I.enq_slow q h 5 i;
+  (match I.enq_request_claimed_cell h with
+  | Some cell ->
+    check Alcotest.bool "T > claimed cell (Invariant 4)" true (I.tail_index q > cell)
+  | None -> Alcotest.fail "not claimed")
+
+(* ------------------------------------------------------------------ *)
+(* Helping enqueues (help_enq)                                        *)
+
+let test_helper_completes_peer_enqueue () =
+  let q = W.create ~patience:0 () in
+  let h1 = W.register q in
+  let h2 = W.register q in
+  (* h2 has a pending published request after a failed fast path *)
+  let i = I.faa_tail q in
+  ignore (I.poison_cell (I.cell_of q h2 i));
+  I.publish_enq_request h2 31 i;
+  check Alcotest.bool "pending" true (I.enq_request_pending h2);
+  (* h1 dequeues; its help_enq must complete h2's request and the
+     helper itself consumes the value (footnote 3 of the paper) *)
+  check Alcotest.(option int) "helper gets helped value" (Some 31) (W.dequeue q h1);
+  check Alcotest.bool "request completed by helper" false (I.enq_request_pending h2)
+
+let test_help_enq_empty_semantics () =
+  let q = W.create ~patience:0 () in
+  let h = W.register q in
+  (* cell 0 with T = 0: poisoning by help_enq itself, then T <= i
+     means EMPTY *)
+  let i = I.faa_head q in
+  let c = I.cell_of q h i in
+  check Alcotest.bool "EMPTY when T <= i" true (I.help_enq q h c i = `Empty)
+
+let test_help_enq_top_when_enqueues_behind () =
+  let q = W.create ~patience:0 () in
+  let h = W.register q in
+  (* bump T twice without filling cells: the cell is dead but the
+     queue is not provably empty -> Top, not Empty *)
+  let i0 = I.faa_tail q in
+  ignore (I.faa_tail q);
+  let c = I.cell_of q h i0 in
+  ignore (I.poison_cell c);
+  (* T = 2 > i0 = 0, no request published anywhere *)
+  check Alcotest.bool "Top when T > i" true (I.help_enq q h c i0 = `Top)
+
+let test_help_enq_returns_existing_value () =
+  let q = W.create ~patience:0 () in
+  let h = W.register q in
+  W.enqueue q h 11;
+  let c = I.cell_of q h 0 in
+  check Alcotest.bool "value visible" true (I.help_enq q h c 0 = `Value 11);
+  (* idempotent: helping again returns the same value *)
+  check Alcotest.bool "stable" true (I.help_enq q h c 0 = `Value 11)
+
+let test_help_enq_does_not_use_future_request () =
+  (* Invariant 5: a cell i cannot be reserved for a request with
+     id > i.  Publish a request with a large id and verify a helper
+     refuses to complete it at a smaller cell. *)
+  let q = W.create ~patience:0 () in
+  let h1 = W.register q in
+  let h2 = W.register q in
+  (* h2's request pretends its failed fast path was at index 50 *)
+  I.publish_enq_request h2 77 50;
+  (* h1 visits cells 0 and 1: the first visit may only advance the
+     helping peer; the second examines h2's request and must refuse
+     to deposit at a cell below the request id *)
+  let cells =
+    List.init 2 (fun _ ->
+        let i = I.faa_head q in
+        let c = I.cell_of q h1 i in
+        let r = I.help_enq q h1 c i in
+        check Alcotest.bool "no deposit at cell < id" true (r = `Empty || r = `Top);
+        c)
+  in
+  check Alcotest.bool "request untouched" true (I.enq_request_pending h2);
+  List.iter
+    (fun c -> check Alcotest.(option int) "cell has no value" None (I.cell_value c))
+    cells
+
+(* ------------------------------------------------------------------ *)
+(* Slow-path dequeue                                                  *)
+
+let test_deq_slow_skips_claimed_cell () =
+  let q = W.create ~patience:0 () in
+  let h = W.register q in
+  W.enqueue q h 1;
+  W.enqueue q h 2;
+  W.enqueue q h 3;
+  (* simulate a competitor stealing the fast-path claim at cell 0 *)
+  let i = I.faa_head q in
+  let c = I.cell_of q h i in
+  check Alcotest.bool "steal claim" true (I.claim_cell_deq c);
+  check Alcotest.(option int) "slow path finds next value" (Some 2) (I.deq_slow q h i);
+  check Alcotest.(option int) "fifo resumes" (Some 3) (W.dequeue q h)
+
+let test_deq_slow_empty () =
+  let q = W.create ~patience:0 () in
+  let h = W.register q in
+  let i = I.faa_head q in
+  let c = I.cell_of q h i in
+  ignore (I.poison_cell c);
+  ignore (I.claim_cell_deq c);
+  check Alcotest.(option int) "EMPTY via slow path" None (I.deq_slow q h i);
+  check Alcotest.bool "request closed" false (I.deq_request_pending h)
+
+let test_deq_slow_head_index_advanced () =
+  let q = W.create ~patience:0 () in
+  let h = W.register q in
+  W.enqueue q h 9;
+  let i = I.faa_head q in
+  ignore (I.claim_cell_deq (I.cell_of q h i));
+  ignore (I.deq_slow q h i);
+  check Alcotest.bool "H advanced past result (Invariant 8)" true (I.head_index q > i)
+
+let test_help_deq_completes_peer () =
+  let q = W.create ~patience:0 () in
+  let h1 = W.register q in
+  let h2 = W.register q in
+  W.enqueue q h1 70;
+  (* h2 fails its fast path (claim stolen) and publishes a request *)
+  let i = I.faa_head q in
+  ignore (I.claim_cell_deq (I.cell_of q h2 i));
+  I.publish_deq_request h2 i;
+  check Alcotest.bool "pending" true (I.deq_request_pending h2);
+  (* h1 helps: the request must complete *)
+  I.help_deq q ~helper:h1 ~helpee:h2;
+  check Alcotest.bool "completed" false (I.deq_request_pending h2);
+  (* h2 reads its own result: the value stolen at cell i is gone, so
+     the result is the next available value, 70 at cell... cell i held
+     70?  The claim steal happened at the cell with 70, so the result
+     must be EMPTY or a later value; reconstruct: only one value was
+     enqueued and its cell deq was stolen, so help_deq can only close
+     the request with EMPTY(⊤) or... the stolen claim does not consume
+     the value: c.deq = ⊤d means some dequeuer claimed it; the request
+     must look at later cells and finds none -> result cell has ⊤. *)
+  check Alcotest.(option int) "result is EMPTY" None (I.deq_request_result q h2)
+
+let test_help_deq_no_request_is_noop () =
+  let q = W.create ~patience:0 () in
+  let h1 = W.register q in
+  let h2 = W.register q in
+  W.enqueue q h1 1;
+  I.help_deq q ~helper:h1 ~helpee:h2;
+  (* nothing consumed *)
+  check Alcotest.(option int) "value intact" (Some 1) (W.dequeue q h1)
+
+let test_stale_request_not_rehelped () =
+  let q = W.create ~patience:0 () in
+  let h1 = W.register q in
+  let h2 = W.register q in
+  (* h2 completes a slow dequeue, then enqueues values; helping the
+     stale completed request must not consume anything *)
+  W.enqueue q h1 1;
+  let i = I.faa_head q in
+  ignore (I.claim_cell_deq (I.cell_of q h2 i));
+  I.publish_deq_request h2 i;
+  I.help_deq q ~helper:h2 ~helpee:h2;
+  check Alcotest.bool "request done" false (I.deq_request_pending h2);
+  W.enqueue q h1 2;
+  I.help_deq q ~helper:h1 ~helpee:h2;
+  check Alcotest.(option int) "2 still there" (Some 2) (W.dequeue q h1);
+  check Alcotest.(option int) "then empty" None (W.dequeue q h1)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end slow-path statistics                                    *)
+
+let test_stats_count_slow_paths () =
+  let q = W.create ~patience:0 () in
+  let h = W.register q in
+  let i = I.faa_tail q in
+  ignore (I.poison_cell (I.cell_of q h i));
+  I.enq_slow q h 3 i;
+  (* enq_slow through Internal does not bump counters (the public
+     wrapper does); verify the public dequeue counts the fast path *)
+  ignore (W.dequeue q h);
+  let s = W.stats q in
+  check Alcotest.bool "dequeues counted" true (Wfq.Op_stats.total_dequeues s >= 1)
+
+let () =
+  Alcotest.run "wfqueue_slowpath"
+    [
+      ( "enq_slow",
+        [
+          Alcotest.test_case "poisoned cell" `Quick test_enq_slow_after_poisoned_cell;
+          Alcotest.test_case "claims once" `Quick test_enq_slow_claims_one_cell_only;
+          Alcotest.test_case "many poisoned cells" `Quick test_enq_slow_survives_many_poisoned_cells;
+          Alcotest.test_case "Invariant 4 (T past claim)" `Quick test_tail_index_advances_past_claimed;
+        ] );
+      ( "help_enq",
+        [
+          Alcotest.test_case "helper completes peer" `Quick test_helper_completes_peer_enqueue;
+          Alcotest.test_case "EMPTY semantics" `Quick test_help_enq_empty_semantics;
+          Alcotest.test_case "Top when T ahead" `Quick test_help_enq_top_when_enqueues_behind;
+          Alcotest.test_case "returns existing value" `Quick test_help_enq_returns_existing_value;
+          Alcotest.test_case "Invariant 5 (no future req)" `Quick
+            test_help_enq_does_not_use_future_request;
+        ] );
+      ( "deq_slow",
+        [
+          Alcotest.test_case "skips claimed cell" `Quick test_deq_slow_skips_claimed_cell;
+          Alcotest.test_case "EMPTY" `Quick test_deq_slow_empty;
+          Alcotest.test_case "Invariant 8 (H past result)" `Quick test_deq_slow_head_index_advanced;
+          Alcotest.test_case "help_deq completes peer" `Quick test_help_deq_completes_peer;
+          Alcotest.test_case "help_deq noop" `Quick test_help_deq_no_request_is_noop;
+          Alcotest.test_case "stale request" `Quick test_stale_request_not_rehelped;
+        ] );
+      ("stats", [ Alcotest.test_case "slow path stats" `Quick test_stats_count_slow_paths ]);
+    ]
