@@ -49,15 +49,24 @@ let run_bechamel () =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let table = Harness.Report.create ~header:[ "queue"; "ns/pair (OLS)" ] in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  (* Sort by name only: the OLS value is an abstract Bechamel record,
+     and polymorphic compare on it is meaningless (and on degenerate
+     runs the estimate can be NaN, which [compare] orders
+     arbitrarily). *)
+  let by_name (a, _) (b, _) = String.compare a b in
   List.iter
     (fun (name, ols) ->
+      (* A degenerate run (too few samples, clock hiccup) can yield a
+         NaN, infinite, or negative slope; flag it instead of printing
+         a nonsense per-op cost. *)
       let est =
         match Analyze.OLS.estimates ols with
-        | Some (x :: _) -> Printf.sprintf "%.1f" x
+        | Some (x :: _) when Float.is_finite x && x >= 0.0 -> Printf.sprintf "%.1f" x
+        | Some (x :: _) -> Printf.sprintf "n/a (degenerate: %h)" x
         | Some [] | None -> "n/a"
       in
       Harness.Report.add_row table [ name; est ])
-    (List.sort compare rows);
+    (List.sort by_name rows);
   Harness.Report.print
     ~title:"Single-core per-operation cost (Bechamel OLS, one enqueue+dequeue pair)" table
 

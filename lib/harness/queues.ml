@@ -1,4 +1,4 @@
-type ops = { enqueue : int -> unit; dequeue : unit -> int option }
+type ops = { enqueue : int -> unit; dequeue : unit -> int option; release : unit -> unit }
 
 type instance = {
   iname : string;
@@ -33,6 +33,11 @@ let wf ?(patience = 10) ?segment_shift ?max_garbage ?reclamation ?name () =
               {
                 enqueue = (fun v -> Wfq.Wfqueue.enqueue q h v);
                 dequeue = (fun () -> Wfq.Wfqueue.dequeue q h);
+                (* retire so steady-state iterations on one instance
+                   measure the queue, not an ever-growing ring of dead
+                   handles; the next iteration's register recycles the
+                   slot *)
+                release = (fun () -> Wfq.Wfqueue.retire q h);
               });
           op_stats = (fun () -> Some (Wfq.Wfqueue.stats q));
           reset_op_stats = (fun () -> Wfq.Wfqueue.reset_stats q);
@@ -61,6 +66,7 @@ let lcrq ?(ring_size = 4096) () =
         {
           enqueue = (fun v -> Baselines.Lcrq.enqueue q h v);
           dequeue = (fun () -> Baselines.Lcrq.dequeue q h);
+          release = ignore;
         })
 
 let ccqueue =
@@ -71,6 +77,7 @@ let ccqueue =
         {
           enqueue = (fun v -> Baselines.Ccqueue.enqueue q h v);
           dequeue = (fun () -> Baselines.Ccqueue.dequeue q h);
+          release = ignore;
         })
 
 let msqueue =
@@ -81,6 +88,7 @@ let msqueue =
         {
           enqueue = (fun v -> Baselines.Msqueue.enqueue q h v);
           dequeue = (fun () -> Baselines.Msqueue.dequeue q h);
+          release = ignore;
         })
 
 let two_lock =
@@ -91,6 +99,7 @@ let two_lock =
         {
           enqueue = (fun v -> Baselines.Two_lock_queue.enqueue q h v);
           dequeue = (fun () -> Baselines.Two_lock_queue.dequeue q h);
+          release = ignore;
         })
 
 let mutex =
@@ -101,6 +110,7 @@ let mutex =
         {
           enqueue = (fun v -> Baselines.Mutex_queue.enqueue q h v);
           dequeue = (fun () -> Baselines.Mutex_queue.dequeue q h);
+          release = ignore;
         })
 
 let wf_llsc =
@@ -112,6 +122,7 @@ let wf_llsc =
         {
           enqueue = (fun v -> Wfq.Wfqueue_llsc.enqueue q h v);
           dequeue = (fun () -> Wfq.Wfqueue_llsc.dequeue q h);
+          release = (fun () -> Wfq.Wfqueue_llsc.retire q h);
         })
 
 let kp_queue =
@@ -122,6 +133,7 @@ let kp_queue =
         {
           enqueue = (fun v -> Baselines.Kp_queue.enqueue q h v);
           dequeue = (fun () -> Baselines.Kp_queue.dequeue q h);
+          release = ignore;
         })
 
 let faa =
@@ -132,6 +144,7 @@ let faa =
         {
           enqueue = (fun v -> Baselines.Faa_bench.enqueue q h v);
           dequeue = (fun () -> Baselines.Faa_bench.dequeue q h);
+          release = ignore;
         })
 
 let all =

@@ -5,7 +5,15 @@
     implementation needs one).  Payloads are [int], as in the paper's
     benchmarks. *)
 
-type ops = { enqueue : int -> unit; dequeue : unit -> int option }
+type ops = {
+  enqueue : int -> unit;
+  dequeue : unit -> int option;
+  release : unit -> unit;
+      (* handle retirement hook: called by the runner when the owning
+         domain is done, so implementations with registration (the WF
+         queues) can retire the handle and recycle its ring slot; a
+         no-op for the other baselines *)
+}
 
 type instance = {
   iname : string;

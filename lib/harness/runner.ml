@@ -27,7 +27,14 @@ let run_once (instance : Queues.instance) (spec : Workload.spec) ~threads =
             let ops = instance.register () in
             let body = Workload.thread_body spec ~thread ops ~threads in
             Sync.Barrier.await start_barrier;
-            done_counts.(thread) <- body ()))
+            done_counts.(thread) <- body ();
+            (* Retire the worker's handle (one O(1) call after the
+               measured ops): the steady-state loop reuses one
+               instance across iterations, and without this every
+               iteration would add [threads] dead handles to the
+               helping ring, so later iterations would measure
+               ring-scan overhead instead of the queue. *)
+            ops.release ()))
   in
   Sync.Barrier.await start_barrier;
   let t0 = Primitives.Clock.now () in

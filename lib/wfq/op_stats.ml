@@ -23,6 +23,10 @@ let add ~into t =
   into.slow_dequeues <- into.slow_dequeues + t.slow_dequeues;
   into.empty_dequeues <- into.empty_dequeues + t.empty_dequeues
 
+let absorb ~into t =
+  add ~into t;
+  reset t
+
 let total_enqueues t = t.fast_enqueues + t.slow_enqueues
 let total_dequeues t = t.fast_dequeues + t.slow_dequeues
 

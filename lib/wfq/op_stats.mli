@@ -19,6 +19,11 @@ val create : unit -> t
 val reset : t -> unit
 val add : into:t -> t -> unit
 
+val absorb : into:t -> t -> unit
+(** [add] followed by [reset] of the source: moves the counts.  Used
+    when a departed domain's handle slot is recycled, so its
+    operations stay visible in queue-level aggregates exactly once. *)
+
 val total_enqueues : t -> int
 val total_dequeues : t -> int
 

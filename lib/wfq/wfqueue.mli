@@ -12,14 +12,32 @@
     that the live segment list stays bounded; OCaml's GC then collects
     them (DESIGN.md §2.4 explains the mapping from free()).
 
-    {1 Handles}
+    {1 Handles and their lifecycle}
 
     Every thread (domain) operating on a queue needs a {!handle}
     holding its segment pointers, helping state, and its slot in the
     helping ring (the paper's [Handle]).  Obtain one per domain with
     {!register}; a handle must never be used by two domains
     concurrently.  The {!push}/{!pop} convenience wrappers register
-    and cache a handle per domain automatically. *)
+    and cache a handle per domain automatically.
+
+    Handles have a full lifecycle, closing the paper's §3.6 "thread
+    failure" problem (a departed thread's handle otherwise pins
+    reclamation forever and bloats the helping ring):
+
+    - {b register}: {!register} first recycles a retired ring slot if
+      one is available, so the ring length is bounded by the peak
+      number of concurrently registered domains — not by the total
+      number of domains ever seen.
+    - {b operate}: {!enqueue}/{!dequeue} with an explicit handle, or
+      {!push}/{!pop} with the cached per-domain handle.  The implicit
+      path takes no lock: the cache is a domain-local slot.
+    - {b retire}: {!retire} declares the owner gone; the handle stops
+      blocking reclamation, drops out of the helping rotation, and its
+      ring slot becomes recyclable.  Handles cached by {!push}/{!pop}
+      are retired automatically when their domain terminates (a
+      [Domain.at_exit] hook); explicit handles should be retired by
+      whoever joins the domain. *)
 
 type 'a t
 type 'a handle
@@ -43,9 +61,12 @@ val create :
     entirely, for the reclamation ablation benchmark. *)
 
 val register : 'a t -> 'a handle
-(** A new handle for the calling domain, inserted into the queue's
-    helping ring.  Cheap enough to call once per domain; do not call
-    per operation. *)
+(** A handle for the calling domain: a retired ring slot is recycled
+    when one is available (its request and pointer state reset under
+    the cleanup token), otherwise a fresh slot is linked into the
+    helping ring.  Ring length is therefore bounded by the peak number
+    of concurrently live handles.  Cheap enough to call once per
+    domain; do not call per operation. *)
 
 val enqueue : 'a t -> 'a handle -> 'a -> unit
 (** Wait-free enqueue (Listing 3). *)
@@ -55,10 +76,17 @@ val dequeue : 'a t -> 'a handle -> 'a option
     observed empty (the paper's EMPTY). *)
 
 val push : 'a t -> 'a -> unit
-(** {!enqueue} with a per-domain handle managed internally. *)
+(** {!enqueue} with a per-domain handle managed internally.  The hot
+    path is lock-free: a domain-local cache lookup plus one atomic
+    read (no [Mutex], no shared table).  The first call from a domain
+    registers a handle (recycling a retired slot when possible) and
+    installs a [Domain.at_exit] hook that retires it when the domain
+    terminates, so short-lived domains leak neither ring slots nor
+    reclamation progress. *)
 
 val pop : 'a t -> 'a option
-(** {!dequeue} with a per-domain handle managed internally. *)
+(** {!dequeue} with a per-domain handle managed internally; same
+    lifecycle as {!push}. *)
 
 val approx_length : 'a t -> int
 (** Tail index minus head index, clamped to 0: counts enqueued values
@@ -104,18 +132,33 @@ val oldest_segment_id : 'a t -> int
 (** The paper's [I]: id of the oldest live segment, or [-1] while a
     cleanup is in progress. *)
 
+val ring_handles : 'a t -> int
+(** Number of slots in the helping ring (live + retired-awaiting-
+    recycling).  Bounded by the peak number of concurrently registered
+    domains, not by the total number of registrations.  Walks the
+    ring; consistent when quiescent. *)
+
+val live_handles : 'a t -> int
+(** Ring slots whose handle is not retired. *)
+
+val free_handle_slots : 'a t -> int
+(** Retired slots currently waiting to be recycled by {!register}. *)
+
 val retire : 'a t -> 'a handle -> unit
 (** Declare the handle's owning thread gone (dead or deregistered):
     clears its hazard pointer so reclamation can proceed (the paper's
-    §3.6 "thread failure" leak) and removes it from the helping
-    rotation.
+    §3.6 "thread failure" leak), removes it from the helping rotation
+    and the cleanup scan, and donates its ring slot for recycling by a
+    future {!register}.  Idempotent — safe to call both explicitly and
+    through the automatic domain-termination hook of {!push}/{!pop}.
 
     {b Unsound} if the owner is still inside an operation on [q] —
     the cleared hazard pointer would allow its working segments to be
     recycled under it.  Call only after the domain has terminated
-    (e.g. after [Domain.join]) or an external failure detector says
-    so.  Retiring every handle is allowed; a retired handle must not
-    be used again. *)
+    (e.g. after [Domain.join]), from the owning domain itself after
+    its last operation, or when an external failure detector says the
+    owner is gone.  Retiring every handle is allowed; a retired handle
+    must not be used again by its old owner. *)
 
 (** {1 Whitebox access}
 
@@ -184,6 +227,22 @@ module Internal : sig
   val cleanup : 'a t -> 'a handle -> unit
   (** Run the reclamation protocol (Listing 5) unconditionally of the
       [max_garbage] threshold check failing due to staleness. *)
+
+  val pool_limit : 'a t -> int
+  (** Capacity of the segment recycling pool. *)
+
+  val pool_length : 'a t -> int
+  (** Actual length of the pool's free list (walks it).  The
+      size-accounting invariant: [pooled_segments] never exceeds
+      [pool_limit] and equals [pool_length] at quiescence. *)
+
+  val pool_push_fresh : 'a t -> unit
+  (** Push a fresh dummy segment into the pool, as a losing
+      [find_cell] extender or a cleanup would — for hammering the
+      pool's admission protocol from many domains. *)
+
+  val pool_take : 'a t -> bool
+  (** Pop and discard one pooled segment; [false] when empty. *)
 
   val set_hazard : 'a t -> 'a handle -> [ `Head | `Tail | `Null ] -> unit
   (** Manipulate the handle's hazard pointer as the operation

@@ -64,7 +64,12 @@ type 'a segment = {
 (* Immutable free-list node; see the [pool] field below. *)
 type 'a pool_node = { pooled : 'a segment; rest : 'a pool_node option }
 
-type 'a handle = {
+(* Immutable free-list node for retired handle slots; like [pool_node],
+   nodes are freshly allocated per push so the Treiber CAS is ABA-safe
+   under GC. *)
+type 'a free_node = { freed : 'a handle; more : 'a free_node option }
+
+and 'a handle = {
   hid : int; (* registration order, used only by tracing/debugging *)
   head : 'a segment A.t;
   tail : 'a segment A.t;
@@ -107,9 +112,20 @@ type 'a t = {
   pool : 'a pool_node option A.t;
   pool_size : int A.t;
   pool_limit : int;
-  (* per-domain handle cache for push/pop, keyed by domain id *)
-  dls_lock : Mutex.t;
-  dls : (int, 'a handle) Hashtbl.t;
+  (* Retired handle slots awaiting recycling ([register] pops one
+     instead of growing the ring), so ring length is bounded by the
+     peak number of concurrently registered domains.  Same fresh-node
+     Treiber discipline as [pool]. *)
+  free_handles : 'a free_node option A.t;
+  (* Path counters of handles whose slots were recycled, folded in
+     under the cleanup token so [stats] keeps counting departed
+     domains' operations. *)
+  departed_stats : Op_stats.t;
+  (* Per-domain handle cache for push/pop: a domain-local slot, no
+     lock and no shared table on the hot path.  The slot also installs
+     a [Domain.at_exit] hook that retires the handle when its domain
+     terminates, closing the paper's §3.6 leak for the implicit API. *)
+  dls_handle : 'a handle option Domain.DLS.key;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -153,8 +169,9 @@ let create ?(patience = 10) ?(segment_shift = 10) ?(max_garbage = 16) ?(reclamat
     pool = A.make None;
     pool_size = A.make 0;
     pool_limit = max 32 (4 * max_garbage);
-    dls_lock = Mutex.create ();
-    dls = Hashtbl.create 8;
+    free_handles = A.make None;
+    departed_stats = Op_stats.create ();
+    dls_handle = Domain.DLS.new_key (fun () -> None);
   }
 
 let patience t = t.patience
@@ -177,14 +194,23 @@ let rec pool_pop q =
     else pool_pop q
 
 (* Return a clean (reset) segment to the pool, unless it is full — in
-   which case the GC simply collects the segment. *)
-let rec pool_push q s =
-  if A.get q.pool_size < q.pool_limit then begin
-    let top = A.get q.pool in
-    if A.compare_and_set q.pool top (Some { pooled = s; rest = top }) then
-      ignore (A.fetch_and_add q.pool_size 1)
-    else pool_push q s
-  end
+   which case the GC simply collects the segment.  The FAA on
+   [pool_size] is the admission decision itself (a reservation taken
+   before touching the list), not a decoupled estimate: concurrent
+   pushers each reserve a distinct slot, so the pool can never
+   overshoot [pool_limit], and the counter never drops below the list
+   length (pushes increment before linking; pops unlink before
+   decrementing).  At quiescence the counter equals the list length. *)
+let pool_push q s =
+  if A.fetch_and_add q.pool_size 1 >= q.pool_limit then
+    (* full: give the reservation back and let the GC take [s] *)
+    ignore (A.fetch_and_add q.pool_size (-1))
+  else
+    let rec link () =
+      let top = A.get q.pool in
+      if not (A.compare_and_set q.pool top (Some { pooled = s; rest = top })) then link ()
+    in
+    link ()
 
 let reset_segment s =
   tracef (fun () -> Printf.sprintf "reset: uid=%d seg=%d" s.uid s.seg_id);
@@ -224,10 +250,45 @@ let next_live_handle h =
   in
   go (next_handle h)
 
+(* The paper's §3.6 "thread failure" gap: a thread that dies (or
+   departs) mid-operation leaves its hazard pointer set and blocks
+   reclamation forever (the paper defers to DEBRA as future work).
+   [retire] is the recovery hook: it clears the handle's hazard
+   pointer, marks it so the helping rotation and the cleanup scan skip
+   it, and donates its ring slot to the free stack so a future
+   [register] can recycle it instead of growing the ring.  Calling it
+   on a handle whose owner is actually still running an operation is
+   unsound (the cleared hazard pointer could let its segments be
+   recycled under it) — callers must know the thread is gone, e.g.
+   after Domain.join or a failure detector; the push/pop wrappers
+   install it as a [Domain.at_exit] hook.  Idempotent: the CAS on
+   [retired] makes sure one retirement pushes exactly one free-stack
+   node, so a handle can be retired both explicitly and by the
+   domain-termination hook. *)
+let retire q h =
+  if Atomic.compare_and_set h.retired false true then begin
+    tracef (fun () -> Printf.sprintf "h%d retire" h.hid);
+    A.set h.hzdp q.null_segment;
+    let rec push () =
+      let top = A.get q.free_handles in
+      if not (A.compare_and_set q.free_handles top (Some { freed = h; more = top })) then push ()
+    in
+    push ()
+  end
+
+let rec pop_free_handle q =
+  match A.get q.free_handles with
+  | None -> None
+  | Some node as top ->
+    if A.compare_and_set q.free_handles top node.more then Some node.freed
+    else pop_free_handle q
+
 (* Registration adopts the queue's current first segment; to do so
    safely against concurrent segment recycling it takes the cleanup
    token (the paper's [I = -1] mutual exclusion), so no cleaner can
-   retire that segment mid-registration.  Registration is a one-time
+   retire that segment mid-registration — and, symmetrically, no
+   cleaner can scan a recycled slot while its state is half-reset,
+   since cleanup also requires the token.  Registration is a one-time
    per-thread cost, never on an operation path. *)
 let rec acquire_cleanup_token q =
   let i = A.get q.oldest in
@@ -237,35 +298,61 @@ let rec acquire_cleanup_token q =
     acquire_cleanup_token q
   end
 
+(* Reset a retired slot for a new owner.  Token held, so nothing scans
+   the intermediate states; liveness ([retired := false]) is published
+   last.  The request states go back to [Packed.initial]: stale
+   helpers cannot mistake the reset for an old claim because request
+   ids are global FAA tickets, so every id the new owner publishes is
+   strictly larger than any id the old owner ever used. *)
+let recycle_handle q h seg =
+  tracef (fun () -> Printf.sprintf "h%d recycle slot" h.hid);
+  Op_stats.absorb ~into:q.departed_stats h.stats;
+  A.set h.head seg;
+  A.set h.tail seg;
+  A.set h.hzdp q.null_segment;
+  A.set h.enq_req.enq_value None;
+  A.set h.enq_req.enq_state Packed.initial;
+  A.set h.deq_req.deq_id 0;
+  A.set h.deq_req.deq_state Packed.initial;
+  h.enq_help_id <- 0;
+  Atomic.set h.retired false;
+  h
+
 let register q =
   let token = acquire_cleanup_token q in
   let seg = A.get q.q in
-  let rec h =
-    {
-      hid = Atomic.fetch_and_add handle_uids 1;
-      head = A.make seg;
-      tail = A.make seg;
-      ring_next = A.make None;
-      hzdp = A.make q.null_segment;
-      enq_req = { enq_value = A.make None; enq_state = A.make Packed.initial };
-      enq_peer = h;
-      enq_help_id = 0;
-      deq_req = { deq_id = A.make 0; deq_state = A.make Packed.initial };
-      deq_peer = h;
-      retired = Atomic.make false;
-      stats = Op_stats.create ();
-    }
+  let h =
+    match pop_free_handle q with
+    | Some h -> recycle_handle q h seg (* still linked: ring does not grow *)
+    | None ->
+      let rec h =
+        {
+          hid = Atomic.fetch_and_add handle_uids 1;
+          head = A.make seg;
+          tail = A.make seg;
+          ring_next = A.make None;
+          hzdp = A.make q.null_segment;
+          enq_req = { enq_value = A.make None; enq_state = A.make Packed.initial };
+          enq_peer = h;
+          enq_help_id = 0;
+          deq_req = { deq_id = A.make 0; deq_state = A.make Packed.initial };
+          deq_peer = h;
+          retired = Atomic.make false;
+          stats = Op_stats.create ();
+        }
+      in
+      let rec link () =
+        match A.get q.ring with
+        | None -> if not (A.compare_and_set q.ring None (Some h)) then link ()
+        | Some anchor ->
+          let succ = A.get anchor.ring_next in
+          let succ_or_anchor = match succ with Some _ -> succ | None -> Some anchor in
+          A.set h.ring_next succ_or_anchor;
+          if not (A.compare_and_set anchor.ring_next succ (Some h)) then link ()
+      in
+      link ();
+      h
   in
-  let rec link () =
-    match A.get q.ring with
-    | None -> if not (A.compare_and_set q.ring None (Some h)) then link ()
-    | Some anchor ->
-      let succ = A.get anchor.ring_next in
-      let succ_or_anchor = match succ with Some _ -> succ | None -> Some anchor in
-      A.set h.ring_next succ_or_anchor;
-      if not (A.compare_and_set anchor.ring_next succ (Some h)) then link ()
-  in
-  link ();
   h.enq_peer <- next_live_handle h;
   h.deq_peer <- next_live_handle h;
   A.set q.oldest token;
@@ -764,13 +851,22 @@ let cleanup q h =
     update q h.tail e h;
     update q h.head e h;
     let visited = ref [] in
-    (* forward traversal over the handle ring *)
+    (* Forward traversal over the handle ring.  Retired slots are
+       skipped outright: their hazard pointer is null (cleared by
+       [retire], and a retired handle runs no operations that could
+       set it again), and their stale head/tail pointers are never
+       dereferenced before [recycle_handle] resets them under this
+       same token, so they neither pin segments nor need advancing.
+       With slot recycling the ring holds at most peak-concurrency
+       slots, so the skip is O(1) per retired slot per cleanup. *)
     let p = ref (next_handle h) in
     while !p != h && (!e).seg_id > i do
-      verify q e (A.get (!p).hzdp);
-      update q (!p).head e !p;
-      update q (!p).tail e !p;
-      visited := !p :: !visited;
+      if not (Atomic.get (!p).retired) then begin
+        verify q e (A.get (!p).hzdp);
+        update q (!p).head e !p;
+        update q (!p).tail e !p;
+        visited := !p :: !visited
+      end;
       p := next_handle !p
     done;
     (* L.234-235: reverse traversal catches hazard-pointer "backward
@@ -835,19 +931,22 @@ let dequeue q h =
 (* ------------------------------------------------------------------ *)
 (* Implicit per-domain handles                                        *)
 
+(* The push/pop hot path: one domain-local read plus one atomic load
+   of the [retired] flag — no lock, no shared table.  The slow branch
+   runs once per (domain, queue) lifetime: it registers a handle,
+   caches it in the domain-local slot, and installs a [Domain.at_exit]
+   hook so the handle is retired (and its ring slot donated for
+   recycling) when the domain terminates.  The [retired] check guards
+   against a caller explicitly retiring the cached handle: push/pop
+   then transparently re-register. *)
 let domain_handle q =
-  let id = (Domain.self () :> int) in
-  Mutex.lock q.dls_lock;
-  let h =
-    match Hashtbl.find_opt q.dls id with
-    | Some h -> h
-    | None ->
-      let h = register q in
-      Hashtbl.add q.dls id h;
-      h
-  in
-  Mutex.unlock q.dls_lock;
-  h
+  match Domain.DLS.get q.dls_handle with
+  | Some h when not (Atomic.get h.retired) -> h
+  | Some _ | None ->
+    let h = register q in
+    Domain.DLS.set q.dls_handle (Some h);
+    Domain.at_exit (fun () -> retire q h);
+    h
 
 let push q v = enqueue q (domain_handle q) v
 let pop q = dequeue q (domain_handle q)
@@ -870,12 +969,24 @@ let fold_handles q f acc =
 
 let stats q =
   let total = Op_stats.create () in
+  Op_stats.add ~into:total q.departed_stats;
   fold_handles q
     (fun () h -> Op_stats.add ~into:total h.stats)
     ();
   total
 
-let reset_stats q = fold_handles q (fun () h -> Op_stats.reset h.stats) ()
+let reset_stats q =
+  Op_stats.reset q.departed_stats;
+  fold_handles q (fun () h -> Op_stats.reset h.stats) ()
+
+let ring_handles q = fold_handles q (fun acc _ -> acc + 1) 0
+
+let live_handles q =
+  fold_handles q (fun acc h -> if Atomic.get h.retired then acc else acc + 1) 0
+
+let free_handle_slots q =
+  let rec go n acc = match n with None -> acc | Some { more; _ } -> go more (acc + 1) in
+  go (A.get q.free_handles) 0
 let handle_stats h = h.stats
 let reclaimed_segments q = A.get q.reclaimed
 let allocated_segments q = A.get q.allocated
@@ -890,19 +1001,6 @@ let live_segments q =
   count (A.get q.q) 0
 
 let oldest_segment_id q = A.get q.oldest
-
-(* The paper's §3.6 "thread failure" gap: a thread that dies (or
-   departs) mid-operation leaves its hazard pointer set and blocks
-   reclamation forever (the paper defers to DEBRA as future work).
-   [retire] is the recovery hook: it clears the handle's hazard
-   pointer and marks it so the helping rotation skips it.  Calling it
-   on a handle whose owner is actually still running an operation is
-   unsound (the cleared hazard pointer could let its segments be
-   recycled under it) — callers must know the thread is gone, e.g.
-   after Domain.join or a failure detector. *)
-let retire q h =
-  Atomic.set h.retired true;
-  A.set h.hzdp q.null_segment
 
 (* ------------------------------------------------------------------ *)
 (* Whitebox access for deterministic slow-path tests (see .mli)       *)
@@ -1009,6 +1107,18 @@ module Internal = struct
       go first 0
 
   let set_trace = set_trace
+
+  (* Whitebox access to the segment pool, for the size-accounting
+     invariant tests: the counter must never exceed [pool_limit] and
+     must equal the list length at quiescence. *)
+  let pool_limit q = q.pool_limit
+
+  let pool_length q =
+    let rec go n acc = match n with None -> acc | Some { rest; _ } -> go rest (acc + 1) in
+    go (A.get q.pool) 0
+
+  let pool_push_fresh q = pool_push q (new_segment q.seg_shift 0)
+  let pool_take q = match pool_pop q with Some _ -> true | None -> false
 
   let set_hazard q h which =
     match which with

@@ -1,0 +1,324 @@
+(* Handle lifecycle regression tests: auto-retirement of per-domain
+   handles when their domain terminates, recycling of retired ring
+   slots (ring length bounded by peak concurrency, not total domains
+   ever), reclamation progress under domain churn, and the segment
+   pool's size-accounting invariant. *)
+
+module W = Wfq.Wfqueue
+module I = W.Internal
+
+let check = Alcotest.check
+
+let churn q h ~ops =
+  for i = 1 to ops do
+    W.enqueue q h i;
+    ignore (W.dequeue q h)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Domain churn through push/pop (the acceptance scenario)            *)
+
+let test_sequential_domain_churn () =
+  (* 200 short-lived domains, strictly sequential: peak concurrency is
+     one worker, so the ring must stay O(1) — each dying domain's
+     handle is auto-retired at domain exit and the next domain's
+     implicit registration recycles the slot. *)
+  let q = W.create ~segment_shift:4 ~max_garbage:4 () in
+  for d = 1 to 200 do
+    let worker =
+      Domain.spawn (fun () ->
+          for k = 1 to 50 do
+            W.push q ((d * 1000) + k);
+            ignore (W.pop q)
+          done)
+    in
+    Domain.join worker
+  done;
+  check Alcotest.bool
+    (Printf.sprintf "ring bounded by peak concurrency (%d slots for 200 domains)"
+       (W.ring_handles q))
+    true
+    (W.ring_handles q <= 4);
+  check Alcotest.bool "segment reclamation proceeded" true (W.reclaimed_segments q > 500);
+  check Alcotest.bool
+    (Printf.sprintf "live segments bounded (%d)" (W.live_segments q))
+    true
+    (W.live_segments q <= 8);
+  (* every domain's operations are still accounted for *)
+  let s = W.stats q in
+  check Alcotest.int "stats survive slot recycling" (200 * 50) (Wfq.Op_stats.total_enqueues s)
+
+let test_concurrent_wave_churn () =
+  (* waves of concurrent domains: the ring may grow to the wave width,
+     never to the total number of domains across waves *)
+  let width = 4 and waves = 25 in
+  let q = W.create ~segment_shift:4 ~max_garbage:4 () in
+  for w = 1 to waves do
+    let workers =
+      List.init width (fun t ->
+          Domain.spawn (fun () ->
+              for k = 1 to 200 do
+                W.push q ((w * 10_000) + (t * 1000) + k);
+                ignore (W.pop q)
+              done))
+    in
+    List.iter Domain.join workers
+  done;
+  check Alcotest.bool
+    (Printf.sprintf "ring bounded by wave width (%d slots for %d domains)" (W.ring_handles q)
+       (width * waves))
+    true
+    (W.ring_handles q <= width + 2);
+  check Alcotest.bool "reclamation proceeded" true (W.reclaimed_segments q > 500);
+  check Alcotest.bool
+    (Printf.sprintf "live segments bounded (%d)" (W.live_segments q))
+    true
+    (W.live_segments q <= 16)
+
+let test_auto_retire_on_domain_exit () =
+  let q = W.create ~segment_shift:4 ~max_garbage:4 () in
+  let worker = Domain.spawn (fun () -> W.push q 1) in
+  Domain.join worker;
+  (* the worker's implicit handle was retired by its Domain.at_exit
+     hook: its slot sits in the free stack awaiting recycling *)
+  check Alcotest.int "one ring slot" 1 (W.ring_handles q);
+  check Alcotest.int "no live handle left behind" 0 (W.live_handles q);
+  check Alcotest.int "slot awaits recycling" 1 (W.free_handle_slots q);
+  (* the next registration recycles the slot instead of growing *)
+  let h = W.register q in
+  check Alcotest.int "slot recycled, ring unchanged" 1 (W.ring_handles q);
+  check Alcotest.int "free stack drained" 0 (W.free_handle_slots q);
+  check Alcotest.(option int) "value survived the lifecycle" (Some 1) (W.dequeue q h)
+
+let test_dead_domain_mid_workload () =
+  (* A domain registers (via push), enqueues a backlog, and dies while
+     the queue is under load.  Auto-retirement must let reclamation
+     proceed: live segments return to the max_garbage neighbourhood
+     instead of being pinned by the dead handle forever. *)
+  let q = W.create ~segment_shift:4 ~max_garbage:4 () in
+  let worker =
+    Domain.spawn (fun () ->
+        for k = 1 to 2_000 do
+          W.push q k
+        done)
+  in
+  Domain.join worker;
+  let before = W.reclaimed_segments q in
+  let h = W.register q in
+  let rec drain () = match W.dequeue q h with Some _ -> drain () | None -> () in
+  drain ();
+  churn q h ~ops:5_000;
+  check Alcotest.bool "reclamation proceeded after death"
+    true
+    (W.reclaimed_segments q > before);
+  check Alcotest.bool
+    (Printf.sprintf "live segments bounded after dead registrant (%d)" (W.live_segments q))
+    true
+    (W.live_segments q <= 8)
+
+let test_push_pop_concurrent_domains () =
+  (* The lock-free implicit-handle path under real parallelism:
+     conservation of values with every domain using push/pop only. *)
+  let q = W.create ~segment_shift:6 ~max_garbage:4 () in
+  let threads = 4 and per_thread = 20_000 in
+  let produced = Atomic.make 0 and consumed = Atomic.make 0 in
+  let workers =
+    List.init threads (fun t ->
+        Domain.spawn (fun () ->
+            let rng = Primitives.Splitmix64.create (Int64.of_int (t + 1)) in
+            for i = 0 to per_thread - 1 do
+              if Primitives.Splitmix64.bool rng then begin
+                W.push q ((t * per_thread) + i);
+                ignore (Atomic.fetch_and_add produced 1)
+              end
+              else
+                match W.pop q with
+                | Some _ -> ignore (Atomic.fetch_and_add consumed 1)
+                | None -> ()
+            done))
+  in
+  List.iter Domain.join workers;
+  let h = W.register q in
+  let rec drain n = match W.dequeue q h with Some _ -> drain (n + 1) | None -> n in
+  let drained = drain 0 in
+  check Alcotest.int "conservation via push/pop" (Atomic.get produced)
+    (Atomic.get consumed + drained);
+  check Alcotest.bool "ring bounded" true (W.ring_handles q <= threads + 2)
+
+(* ------------------------------------------------------------------ *)
+(* Slot recycling semantics                                           *)
+
+let test_recycled_slot_fifo_correct () =
+  let q = W.create ~segment_shift:4 () in
+  let h1 = W.register q in
+  W.enqueue q h1 1;
+  W.enqueue q h1 2;
+  W.retire q h1;
+  let h2 = W.register q in
+  check Alcotest.int "slot recycled in place" 1 (W.ring_handles q);
+  W.enqueue q h2 3;
+  check Alcotest.(option int) "fifo 1" (Some 1) (W.dequeue q h2);
+  check Alcotest.(option int) "fifo 2" (Some 2) (W.dequeue q h2);
+  check Alcotest.(option int) "fifo 3" (Some 3) (W.dequeue q h2);
+  check Alcotest.(option int) "empty" None (W.dequeue q h2)
+
+let test_retire_idempotent () =
+  let q = W.create () in
+  let h = W.register q in
+  W.retire q h;
+  W.retire q h;
+  W.retire q h;
+  (* a double retire must donate the slot exactly once, or two future
+     registrations would share one handle *)
+  check Alcotest.int "one free slot" 1 (W.free_handle_slots q);
+  let h1 = W.register q in
+  let h2 = W.register q in
+  check Alcotest.bool "distinct handles" true (h1 != h2);
+  check Alcotest.int "ring grew to two" 2 (W.ring_handles q)
+
+let test_stats_absorbed_on_recycle () =
+  let q = W.create () in
+  let h1 = W.register q in
+  for i = 1 to 10 do
+    W.enqueue q h1 i
+  done;
+  W.retire q h1;
+  let h2 = W.register q in
+  (* the departed handle's counters survive its slot being reset *)
+  check Alcotest.int "departed enqueues counted" 10
+    (Wfq.Op_stats.total_enqueues (W.stats q));
+  for i = 1 to 5 do
+    W.enqueue q h2 i
+  done;
+  check Alcotest.int "aggregation spans incarnations" 15
+    (Wfq.Op_stats.total_enqueues (W.stats q))
+
+let test_recycling_under_contention () =
+  (* registration storms against churners: recycled slots must never
+     be handed to two domains (each worker writes through its handle
+     and FIFO per producer must hold) *)
+  let q = W.create ~patience:0 ~segment_shift:5 ~max_garbage:2 () in
+  let stop = Atomic.make false in
+  let churners =
+    List.init 2 (fun t ->
+        Domain.spawn (fun () ->
+            let h = W.register q in
+            let ops = ref 0 in
+            while not (Atomic.get stop) do
+              W.enqueue q h ((t * 1_000_000) + !ops);
+              ignore (W.dequeue q h);
+              incr ops
+            done;
+            W.retire q h;
+            !ops))
+  in
+  let recyclers =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 100 do
+              let h = W.register q in
+              W.enqueue q h 0;
+              ignore (W.dequeue q h);
+              W.retire q h
+            done))
+  in
+  List.iter Domain.join recyclers;
+  Atomic.set stop true;
+  let churned = List.fold_left (fun acc d -> acc + Domain.join d) 0 churners in
+  check Alcotest.bool "churners progressed" true (churned > 0);
+  check Alcotest.bool
+    (Printf.sprintf "ring bounded under recycling storm (%d)" (W.ring_handles q))
+    true
+    (W.ring_handles q <= 8)
+
+(* ------------------------------------------------------------------ *)
+(* Segment pool size accounting                                       *)
+
+let assert_pool_invariant q msg =
+  let counter = W.pooled_segments q in
+  let length = I.pool_length q in
+  check Alcotest.int (msg ^ ": counter = list length") length counter;
+  check Alcotest.bool
+    (Printf.sprintf "%s: counter %d within [0, %d]" msg counter (I.pool_limit q))
+    true
+    (counter >= 0 && counter <= I.pool_limit q)
+
+let test_pool_invariant_after_churn () =
+  let q = W.create ~segment_shift:3 ~max_garbage:2 () in
+  let h = W.register q in
+  churn q h ~ops:10_000;
+  assert_pool_invariant q "after churn"
+
+let test_pool_admission_never_overshoots () =
+  (* many concurrent pushers racing the admission check: the counter
+     is the reservation itself, so no interleaving can exceed the
+     limit; a sampling reader asserts the bound while the race runs *)
+  let q = W.create () in
+  let limit = I.pool_limit q in
+  let violation = Atomic.make (-1) in
+  let pushers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 5_000 do
+              I.pool_push_fresh q
+            done))
+  in
+  let poppers =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 5_000 do
+              ignore (I.pool_take q)
+            done))
+  in
+  let sampler =
+    Domain.spawn (fun () ->
+        for _ = 1 to 50_000 do
+          let n = Wfq.Wfqueue.pooled_segments q in
+          if n < 0 || n > limit then Atomic.set violation n
+        done)
+  in
+  List.iter Domain.join pushers;
+  List.iter Domain.join poppers;
+  Domain.join sampler;
+  check Alcotest.int "no sampled bound violation" (-1) (Atomic.get violation);
+  assert_pool_invariant q "after concurrent push/pop storm"
+
+let test_pool_counter_quiescent_equality () =
+  let q = W.create () in
+  for _ = 1 to 100 do
+    I.pool_push_fresh q
+  done;
+  assert_pool_invariant q "after overfill attempt";
+  check Alcotest.int "filled to the limit" (I.pool_limit q) (W.pooled_segments q);
+  let rec drain n = if I.pool_take q then drain (n + 1) else n in
+  let taken = drain 0 in
+  check Alcotest.int "drained exactly the limit" (I.pool_limit q) taken;
+  assert_pool_invariant q "after drain";
+  check Alcotest.int "empty" 0 (W.pooled_segments q)
+
+let () =
+  Alcotest.run "handle_lifecycle"
+    [
+      ( "domain churn",
+        [
+          Alcotest.test_case "200 sequential domains" `Quick test_sequential_domain_churn;
+          Alcotest.test_case "concurrent waves" `Quick test_concurrent_wave_churn;
+          Alcotest.test_case "auto-retire at exit" `Quick test_auto_retire_on_domain_exit;
+          Alcotest.test_case "death mid-workload" `Quick test_dead_domain_mid_workload;
+          Alcotest.test_case "parallel push/pop" `Quick test_push_pop_concurrent_domains;
+        ] );
+      ( "slot recycling",
+        [
+          Alcotest.test_case "fifo across recycling" `Quick test_recycled_slot_fifo_correct;
+          Alcotest.test_case "retire idempotent" `Quick test_retire_idempotent;
+          Alcotest.test_case "stats absorbed" `Quick test_stats_absorbed_on_recycle;
+          Alcotest.test_case "recycling under contention" `Quick test_recycling_under_contention;
+        ] );
+      ( "segment pool",
+        [
+          Alcotest.test_case "invariant after churn" `Quick test_pool_invariant_after_churn;
+          Alcotest.test_case "admission never overshoots" `Quick
+            test_pool_admission_never_overshoots;
+          Alcotest.test_case "quiescent equality" `Quick test_pool_counter_quiescent_equality;
+        ] );
+    ]

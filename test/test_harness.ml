@@ -32,7 +32,14 @@ let test_ops_per_thread () =
 
 let counting_ops () =
   let enq = ref 0 and deq = ref 0 in
-  ( { Harness.Queues.enqueue = (fun _ -> incr enq); dequeue = (fun () -> incr deq; None) },
+  ( {
+      Harness.Queues.enqueue = (fun _ -> incr enq);
+      dequeue =
+        (fun () ->
+          incr deq;
+          None);
+      release = ignore;
+    },
     enq,
     deq )
 

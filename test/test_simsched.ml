@@ -206,6 +206,91 @@ let test_internal_helping_under_schedules () =
     check Alcotest.(option int) (Printf.sprintf "seed %d once" seed) None (Q.dequeue q helper)
   done
 
+let test_retire_recycle_mid_schedule () =
+  (* one fiber retires its handle and re-registers mid-schedule while
+     others operate: the registration recycles the retired ring slot
+     under every interleaving (including cleanups racing the retired
+     slot's reset), values are conserved, and the ring never grows *)
+  for seed = 1 to 2_000 do
+    let q = Q.create ~patience:0 ~segment_shift:1 ~max_garbage:2 () in
+    let h1 = Q.register q and h2 = Q.register q and h3 = Q.register q in
+    let got = ref [] in
+    ignore
+      (run_ok ~max_steps:500_000 ~seed
+         [|
+           (fun () ->
+             Q.enqueue q h1 1;
+             Q.retire q h1;
+             let h1' = Q.register q in
+             Q.enqueue q h1' 11);
+           (fun () -> Q.enqueue q h2 2);
+           (fun () ->
+             for _ = 1 to 5 do
+               match Q.dequeue q h3 with Some v -> got := v :: !got | None -> ()
+             done);
+         |]);
+    let rec drain () =
+      match Q.dequeue q h3 with
+      | Some v ->
+        got := v :: !got;
+        drain ()
+      | None -> ()
+    in
+    drain ();
+    check Alcotest.(list int)
+      (Printf.sprintf "seed %d multiset" seed)
+      [ 1; 2; 11 ]
+      (List.sort compare !got);
+    check Alcotest.int (Printf.sprintf "seed %d ring stays put" seed) 3 (Q.ring_handles q)
+  done
+
+let test_recycled_handle_linearizable () =
+  (* a retired-then-recycled slot must pass the same per-schedule WGL
+     check as a fresh one: two handles are used, retired, and then
+     recycled by the registrations that the checked run operates
+     through *)
+  for seed = 1 to 2_000 do
+    let q = Q.create ~patience:0 ~segment_shift:1 ~max_garbage:2 () in
+    let old1 = Q.register q and old2 = Q.register q in
+    Q.enqueue q old1 900;
+    ignore (Q.dequeue q old2);
+    ignore (Q.dequeue q old2);
+    Q.retire q old1;
+    Q.retire q old2;
+    let handles = Array.init 3 (fun _ -> Q.register q) in
+    check Alcotest.int
+      (Printf.sprintf "seed %d: two slots recycled, one fresh" seed)
+      3 (Q.ring_handles q);
+    let events = ref [] in
+    let record thread input f =
+      let inv = Sim.now () in
+      let output = f () in
+      let res = Sim.now () in
+      events := { H.thread; input; output; inv; res } :: !events
+    in
+    let fiber t () =
+      let h = handles.(t) in
+      let rng = Primitives.Splitmix64.create (Int64.of_int ((seed * 100) + t)) in
+      for i = 0 to 2 do
+        if Primitives.Splitmix64.bool rng then
+          record t (Spec.Enq ((t * 100) + i)) (fun () ->
+              Q.enqueue q h ((t * 100) + i);
+              Spec.Accepted)
+        else
+          record t Spec.Deq (fun () ->
+              match Q.dequeue q h with Some v -> Spec.Got v | None -> Spec.Empty)
+      done
+    in
+    ignore (run_ok ~seed [| fiber 0; fiber 1; fiber 2 |]);
+    let evs = Array.of_list (List.rev !events) in
+    Array.sort (fun a b -> compare a.H.inv b.H.inv) evs;
+    match Wgl.check evs with
+    | Wgl.Linearizable _ -> ()
+    | Wgl.Not_linearizable ->
+      Alcotest.failf "seed %d: non-linearizable schedule on recycled handles" seed
+    | Wgl.Too_large -> Alcotest.fail "history too large"
+  done
+
 let test_exhaustive_preemption_bounded () =
   (* systematic DFS over ALL schedules with at most 2 preemptions:
      two enqueuers versus one dequeuer, values must be conserved in
@@ -294,6 +379,60 @@ let test_exploration_helping_scenario () =
     | None -> assert false
   in
   let r = Sim.explore ~max_schedules:30_000 ~preemptions:3 ~make_fibers ~check:check_schedule () in
+  check Alcotest.bool "explored plenty" true (r.Sim.schedules > 5_000)
+
+let test_exploration_retire_recycle () =
+  (* systematic DFS over retire-and-recycle racing enqueue/dequeue:
+     values must be conserved and the ring must not grow in every
+     bounded-preemption schedule.  max_garbage is high so the cleanup
+     token is only ever taken by the single registering fiber -- with
+     the preemption budget exhausted the DFS cannot switch away from a
+     fiber, so a schedule where a descheduled fiber held the token
+     would starve the register spin loop and truncate. *)
+  let got = ref [] in
+  let state = ref None in
+  let make_fibers () =
+    got := [];
+    let queue = Q.create ~patience:0 ~segment_shift:2 ~max_garbage:64 () in
+    let h1 = Q.register queue and h2 = Q.register queue in
+    let h3 = Q.register queue in
+    state := Some (queue, h3);
+    [|
+      (fun () ->
+        Q.enqueue queue h1 1;
+        Q.retire queue h1;
+        let h1' = Q.register queue in
+        Q.enqueue queue h1' 11);
+      (fun () -> Q.enqueue queue h2 2);
+      (fun () ->
+        for _ = 1 to 2 do
+          match Q.dequeue queue h3 with Some v -> got := v :: !got | None -> ()
+        done);
+    |]
+  in
+  let check_schedule () =
+    match !state with
+    | Some (queue, h) ->
+      let rec drain () =
+        match Q.dequeue queue h with
+        | Some v ->
+          got := v :: !got;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      let sorted = List.sort compare !got in
+      if sorted <> [ 1; 2; 11 ] then
+        Alcotest.failf "schedule lost values: [%s]"
+          (String.concat ";" (List.map string_of_int sorted));
+      if Q.ring_handles queue <> 3 then
+        Alcotest.failf "ring grew to %d under recycling" (Q.ring_handles queue)
+    | None -> assert false
+  in
+  let r =
+    Sim.explore ~max_schedules:200_000 ~preemptions:2 ~make_fibers ~check:check_schedule ()
+  in
+  check Alcotest.int "no truncated runs" 0 r.Sim.truncated_runs;
   check Alcotest.bool "explored plenty" true (r.Sim.schedules > 5_000)
 
 (* QCheck fuzzing: random 3-thread op programs, each run under
@@ -495,11 +634,15 @@ let () =
           Alcotest.test_case "slow paths" `Quick test_slow_paths_under_schedules;
           Alcotest.test_case "reclamation" `Quick test_reclamation_under_schedules;
           Alcotest.test_case "helping" `Quick test_internal_helping_under_schedules;
+          Alcotest.test_case "retire/recycle mid-schedule" `Quick test_retire_recycle_mid_schedule;
+          Alcotest.test_case "recycled handles linearizable" `Quick
+            test_recycled_handle_linearizable;
         ] );
       ( "exploration",
         [
           Alcotest.test_case "exhaustive, 2 preemptions" `Quick test_exhaustive_preemption_bounded;
           Alcotest.test_case "helping scenario" `Quick test_exploration_helping_scenario;
+          Alcotest.test_case "retire/recycle" `Quick test_exploration_retire_recycle;
         ] );
       ( "baselines",
         [
