@@ -4,9 +4,14 @@
    one instance, whose handoff already provides happens-before. *)
 type 'a node = { mutable value : 'a option; next : 'a node option Atomic.t }
 
+(* head and tail live in separate padded boxes rather than two fields
+   of one record: each is written only inside its own side's combining
+   section, but with both in one record every enqueue-side write would
+   invalidate the line the dequeue combiner reads, coupling the two
+   otherwise independent combining instances. *)
 type 'a t = {
-  mutable head : 'a node; (* touched only inside deq-side combining *)
-  mutable tail : 'a node; (* touched only inside enq-side combining *)
+  head : 'a node ref; (* touched only inside deq-side combining *)
+  tail : 'a node ref; (* touched only inside enq-side combining *)
   enq_side : Sync.Ccsynch.t;
   deq_side : Sync.Ccsynch.t;
 }
@@ -16,8 +21,8 @@ type 'a handle = { eh : Sync.Ccsynch.handle; dh : Sync.Ccsynch.handle }
 let create ?max_combine () =
   let dummy = { value = None; next = Atomic.make None } in
   {
-    head = dummy;
-    tail = dummy;
+    head = Primitives.Padding.copy_as_padded (ref dummy);
+    tail = Primitives.Padding.copy_as_padded (ref dummy);
     enq_side = Sync.Ccsynch.create ?max_combine ();
     deq_side = Sync.Ccsynch.create ?max_combine ();
   }
@@ -27,15 +32,15 @@ let register t = { eh = Sync.Ccsynch.handle t.enq_side; dh = Sync.Ccsynch.handle
 let enqueue t h v =
   let n = { value = Some v; next = Atomic.make None } in
   Sync.Ccsynch.apply t.enq_side h.eh (fun () ->
-      Atomic.set t.tail.next (Some n);
-      t.tail <- n)
+      Atomic.set !(t.tail).next (Some n);
+      t.tail := n)
 
 let dequeue t h =
   Sync.Ccsynch.apply t.deq_side h.dh (fun () ->
-      match Atomic.get t.head.next with
+      match Atomic.get !(t.head).next with
       | None -> None
       | Some n ->
         let v = n.value in
         n.value <- None; (* n becomes the new dummy *)
-        t.head <- n;
+        t.head := n;
         v)

@@ -24,13 +24,16 @@ let index_mask = closed_bit - 1
    small constant). *)
 let close_tries = 10
 
+(* The original CRQ aligns each ring node to its own cache line and
+   keeps head and tail on separate lines; mirror that so the baseline
+   does not pay false-sharing costs the wait-free queue avoids. *)
 let create ~size =
   assert (size >= 2 && size land (size - 1) = 0);
   {
-    head = A.make 0;
-    tail = A.make 0;
+    head = A.make_contended 0;
+    tail = A.make_contended 0;
     next = A.make None;
-    ring = Array.init size (fun i -> A.make { safe = true; idx = i; value = None });
+    ring = Array.init size (fun i -> A.make_contended { safe = true; idx = i; value = None });
     size;
   }
 

@@ -40,11 +40,14 @@ let idle_desc = { phase = -1; pending = false; is_enqueue = true; node = None }
 let create ?(max_threads = 128) () =
   assert (max_threads >= 1);
   let dummy = new_node None in
+  (* Each announcement slot is written by one thread and scanned by all
+     helpers; padding keeps one thread's announcement stores from
+     invalidating its array-neighbours' slots. *)
   {
-    head = Atomic.make dummy;
-    tail = Atomic.make dummy;
-    state = Array.init max_threads (fun _ -> Atomic.make idle_desc);
-    registered = Atomic.make 0;
+    head = Primitives.Padding.make_padded_atomic dummy;
+    tail = Primitives.Padding.make_padded_atomic dummy;
+    state = Array.init max_threads (fun _ -> Primitives.Padding.make_padded_atomic idle_desc);
+    registered = Primitives.Padding.make_padded_atomic 0;
   }
 
 let register q =

@@ -7,7 +7,7 @@ type 'a handle = unit
 
 let create ?(ring_size = 4096) () =
   let first = C.create ~size:ring_size in
-  { head = A.make first; tail = A.make first; ring_size }
+  { head = A.make_contended first; tail = A.make_contended first; ring_size }
 
 let register _t = ()
 

@@ -11,7 +11,9 @@ type 'a handle = { backoff : Primitives.Backoff.t }
 
 let create () =
   let dummy = { value = None; next = A.make None } in
-  { head = A.make dummy; tail = A.make dummy }
+  (* head and tail are the two contended words of the whole structure;
+     unpadded they are four heap words apart, i.e. one cache line. *)
+  { head = A.make_contended dummy; tail = A.make_contended dummy }
 
 let register _t = { backoff = Primitives.Backoff.create () }
 

@@ -4,38 +4,39 @@
    location (the original algorithm assumes atomic word access). *)
 type 'a node = { mutable value : 'a option; next : 'a node option Atomic.t }
 
-type 'a t = {
-  mutable head : 'a node;
-  mutable tail : 'a node;
-  head_lock : Mutex.t;
-  tail_lock : Mutex.t;
-}
-
+(* Each end's state (list pointer + its lock) lives in its own padded
+   record: the whole point of the two-lock design is that enqueuers
+   and dequeuers proceed independently, which the memory layout defeats
+   if both ends' words share a cache line. *)
+type 'a side = { mutable node : 'a node; lock : Mutex.t }
+type 'a t = { head : 'a side; tail : 'a side }
 type 'a handle = unit
+
+let new_side node = Primitives.Padding.copy_as_padded { node; lock = Mutex.create () }
 
 let create () =
   let dummy = { value = None; next = Atomic.make None } in
-  { head = dummy; tail = dummy; head_lock = Mutex.create (); tail_lock = Mutex.create () }
+  { head = new_side dummy; tail = new_side dummy }
 
 let register _t = ()
 
 let enqueue t () v =
   let n = { value = Some v; next = Atomic.make None } in
-  Mutex.lock t.tail_lock;
-  Atomic.set t.tail.next (Some n);
-  t.tail <- n;
-  Mutex.unlock t.tail_lock
+  Mutex.lock t.tail.lock;
+  Atomic.set t.tail.node.next (Some n);
+  t.tail.node <- n;
+  Mutex.unlock t.tail.lock
 
 let dequeue t () =
-  Mutex.lock t.head_lock;
+  Mutex.lock t.head.lock;
   let v =
-    match Atomic.get t.head.next with
+    match Atomic.get t.head.node.next with
     | None -> None
     | Some n ->
       let v = n.value in
       n.value <- None; (* the node becomes the new dummy *)
-      t.head <- n;
+      t.head.node <- n;
       v
   in
-  Mutex.unlock t.head_lock;
+  Mutex.unlock t.head.lock;
   v

@@ -23,6 +23,19 @@ val figure2 :
     false; threads [1;2;4;8;16]; the Figure 2 queue set; 10^7 ops
     (quick: 4×10^5). *)
 
+type fig2_point = { queue : string; threads : int; interval : Stats.Student_t.interval }
+(** One (queue, thread count) measurement of {!figure2}. *)
+
+val figure2_data :
+  ?quick:bool ->
+  ?threads:int list ->
+  ?queues:Queues.factory list ->
+  ?total_ops:int ->
+  ?title_note:string ->
+  Workload.kind ->
+  Report.t * fig2_point list
+(** [figure2] plus the raw points, for [bench/main.exe --json]. *)
+
 val table2 : ?quick:bool -> ?threads:int list -> ?total_ops:int -> unit -> Report.t
 (** Execution-path breakdown of WF-0 under the 50%-enqueues benchmark
     (% slow-path enqueues / dequeues / empty dequeues), including

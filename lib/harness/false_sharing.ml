@@ -1,0 +1,95 @@
+(* The microbenchmark behind the padding decisions of this PR: N
+   domains each hammer fetch-and-add on their *own* counter — zero
+   logical sharing — and the only variable is layout.  Unpadded, the
+   counters are adjacent two-word atomics, so up to 8 of them share
+   one 128-byte padding unit and every FAA invalidates its neighbours'
+   lines; padded, each counter owns a full unit — exactly the layout
+   [Primitives.Atomic_prims.Real.Counters] gives the queue (same
+   stride, same padded boxes).  On a multicore host the padded layout
+   wins by the cache-coherence cost of the invalidations; on a
+   single-core host (this one — see DESIGN.md §2.1) the lines never
+   leave one L1 and the two layouts measure the same, which the
+   experiment records honestly rather than fakes.
+
+   Both arms run the *identical* closure over an [int Atomic.t array]
+   — only the stride and box construction differ — so the comparison
+   cannot be polluted by differing call or bounds-check overhead. *)
+
+type result = {
+  domains : int;
+  ops_per_domain : int;
+  padded_mops : float;
+  unpadded_mops : float;
+  speedup : float; (* padded over unpadded; > 1 means padding wins *)
+}
+
+(* Hammer [faa i] from domain [i]; return total Mops/s.  The barrier
+   keeps domain-spawn latency out of the timed region, like
+   [Runner.run_once]. *)
+let hammer ~domains ~ops_per_domain ~(faa : int -> unit) =
+  let barrier = Sync.Barrier.create (domains + 1) in
+  let workers =
+    List.init domains (fun i ->
+        Domain.spawn (fun () ->
+            Sync.Barrier.await barrier;
+            for _ = 1 to ops_per_domain do
+              faa i
+            done))
+  in
+  Sync.Barrier.await barrier;
+  let t0 = Primitives.Clock.now () in
+  List.iter Domain.join workers;
+  let elapsed_s = Primitives.Clock.now () -. t0 in
+  float_of_int (domains * ops_per_domain) /. elapsed_s /. 1e6
+
+(* One arm: counter [i] lives at slot [i * stride], each live box
+   built by [make_box].  [stride = 1, Atomic.make] is the dense layout;
+   [stride = Padding.cache_line_words, Padding.make_padded_atomic] is
+   the [Real.Counters] layout.  All boxes are allocated in one sweep
+   so the dense arm's boxes really are heap-adjacent — the worst case
+   the padded layout defends against. *)
+let arm ~make_box ~stride ~domains ~ops_per_domain =
+  let c =
+    Array.init
+      (((domains - 1) * stride) + 1)
+      (fun i -> if i mod stride = 0 then make_box 0 else Atomic.make 0)
+  in
+  let m =
+    hammer ~domains ~ops_per_domain ~faa:(fun i -> ignore (Atomic.fetch_and_add c.(i * stride) 1))
+  in
+  assert (Atomic.get c.(0) = ops_per_domain);
+  m
+
+let median3 a b c = max (min a b) (min (max a b) c)
+
+let run ?(ops_per_domain = 2_000_000) ~domains () =
+  if domains < 1 then invalid_arg "False_sharing.run: domains must be >= 1";
+  let padded () =
+    arm ~make_box:Primitives.Padding.make_padded_atomic ~stride:Primitives.Padding.cache_line_words
+      ~domains ~ops_per_domain
+  in
+  let unpadded () = arm ~make_box:Atomic.make ~stride:1 ~domains ~ops_per_domain in
+  (* Interleave the reps so drift (thermal, other tenants) hits both
+     layouts alike; the median of 3 drops one bad rep. *)
+  let p1 = padded () and u1 = unpadded () in
+  let p2 = padded () and u2 = unpadded () in
+  let p3 = padded () and u3 = unpadded () in
+  let padded_mops = median3 p1 p2 p3 in
+  let unpadded_mops = median3 u1 u2 u3 in
+  { domains; ops_per_domain; padded_mops; unpadded_mops; speedup = padded_mops /. unpadded_mops }
+
+let experiment ?ops_per_domain ?(domains = [ 1; 2; 4; 8 ]) () =
+  let results = List.map (fun d -> run ?ops_per_domain ~domains:d ()) domains in
+  let t = Report.create ~header:[ "domains"; "padded Mops/s"; "unpadded Mops/s"; "speedup" ] in
+  List.iter
+    (fun r ->
+      Report.add_row t
+        [
+          string_of_int r.domains;
+          Report.cell_float r.padded_mops;
+          Report.cell_float r.unpadded_mops;
+          Report.cell_float r.speedup;
+        ])
+    results;
+  Report.print ~title:"False sharing: independent per-domain FAA counters" t;
+  (t, results)

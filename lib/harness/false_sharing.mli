@@ -1,0 +1,25 @@
+(** False-sharing microbenchmark: N domains each FAA their own
+    counter; the cache-line-strided layout of
+    [Primitives.Atomic_prims.Real.Counters] versus heap-adjacent
+    unpadded atomics, with an identical hot loop in both arms so
+    layout is the only variable.  Quantifies the layout work of
+    DESIGN.md's memory-layout section.  On a single-core host both
+    layouts measure the same — padding only shows up when lines
+    actually migrate between cores. *)
+
+type result = {
+  domains : int;
+  ops_per_domain : int;
+  padded_mops : float;
+  unpadded_mops : float;
+  speedup : float; (* padded over unpadded; > 1 means padding wins *)
+}
+
+val run : ?ops_per_domain:int -> domains:int -> unit -> result
+(** One padded-vs-unpadded comparison at a fixed domain count: three
+    interleaved reps of each layout, medians compared.  Default
+    [ops_per_domain] 2_000_000. *)
+
+val experiment : ?ops_per_domain:int -> ?domains:int list -> unit -> Report.t * result list
+(** The table for EXPERIMENTS.md: {!run} across domain counts
+    (default [1; 2; 4; 8]), printed and returned. *)

@@ -1,0 +1,17 @@
+(** Minimal JSON encoding for [bench/main.exe --json] (no external
+    dependency; encoding only).  Non-finite floats encode as [null] —
+    JSON has no NaN/Infinity literals. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed (2-space indent), trailing newline. *)
+
+val save : t -> path:string -> unit

@@ -5,12 +5,42 @@
     hardware atomics ({!Real}, used by {!Wfqueue}) and on the
     simulated, schedule-controlled atomics of the model-checking
     harness ([Simsched.Sim_atomic]), where every primitive is a
-    preemption point that a test scheduler chooses to interleave. *)
+    preemption point that a test scheduler chooses to interleave.
+
+    Contended locations get two layout-aware constructions so the
+    algorithm text can be explicit about which words are hot:
+
+    - {!S.make_contended} allocates a standalone atomic padded to its
+      own cache line(s) ({!Padding}); on the simulated atomics padding
+      is a no-op, so the model-checked text is the shipped text.
+    - {!S.Counters} is an array of independent integer counters laid
+      out so that no two counters share a cache line — the layout the
+      false-sharing microbenchmark quantifies. *)
+
+module type COUNTERS = sig
+  type t
+  (** A fixed-length array of independent atomic integer counters,
+      laid out so that no two counters share a cache line. *)
+
+  val make : len:int -> init:int -> t
+  val length : t -> int
+  val get : t -> int -> int
+  val set : t -> int -> int -> unit
+  val fetch_and_add : t -> int -> int -> int
+  val compare_and_set : t -> int -> int -> int -> bool
+end
 
 module type S = sig
   type 'a t
 
   val make : 'a -> 'a t
+
+  val make_contended : 'a -> 'a t
+  (** Like [make], but the cell is padded to its own cache line(s) so
+      that writes to it cannot invalidate unrelated hot words (and
+      vice versa).  Semantically identical to [make]; use for the
+      queue-level indices and other contended words. *)
+
   val get : 'a t -> 'a
   val set : 'a t -> 'a -> unit
 
@@ -19,6 +49,34 @@ module type S = sig
 
   val fetch_and_add : int t -> int -> int
   val cpu_relax : unit -> unit
+
+  module Counters : COUNTERS
+end
+
+(* Padded counters on hardware atomics, shared by {!Real} and
+   {!Emulated_faa}: a cache-line-strided [int Atomic.t array].  Two
+   layout mechanisms compose: the live slot for counter [i] is
+   [i * stride], so the array's own pointer slots sit one padding unit
+   apart; and each live box is [Padding.make_padded_atomic], so the
+   boxes themselves span a full padding unit wherever the GC moves
+   them.  The dummy boxes in between are allocated in the same minor-
+   heap sweep and keep the live boxes physically separated even
+   before promotion. *)
+module Hardware_counters = struct
+  type t = int Atomic.t array
+
+  let stride = Padding.cache_line_words
+
+  let make ~len ~init =
+    if len < 0 then invalid_arg "Atomic_prims.Counters.make: negative length";
+    Array.init (len * stride) (fun i ->
+        if i mod stride = 0 then Padding.make_padded_atomic init else Atomic.make init)
+
+  let length t = Array.length t / stride
+  let get t i = Atomic.get t.(i * stride)
+  let set t i v = Atomic.set t.(i * stride) v
+  let fetch_and_add t i n = Atomic.fetch_and_add t.(i * stride) n
+  let compare_and_set t i old nw = Atomic.compare_and_set t.(i * stride) old nw
 end
 
 (** Hardware atomics: [Stdlib.Atomic] (sequentially consistent). *)
@@ -26,11 +84,14 @@ module Real : S with type 'a t = 'a Atomic.t = struct
   type 'a t = 'a Atomic.t
 
   let make = Atomic.make
+  let make_contended v = Padding.make_padded_atomic v
   let get = Atomic.get
   let set = Atomic.set
   let compare_and_set = Atomic.compare_and_set
   let fetch_and_add = Atomic.fetch_and_add
   let cpu_relax = Domain.cpu_relax
+
+  module Counters = Hardware_counters
 end
 
 (** The paper's IBM Power7 configuration: the architecture has no
@@ -43,13 +104,48 @@ module Emulated_faa : S with type 'a t = 'a Atomic.t = struct
   type 'a t = 'a Atomic.t
 
   let make = Atomic.make
+  let make_contended v = Padding.make_padded_atomic v
   let get = Atomic.get
   let set = Atomic.set
   let compare_and_set = Atomic.compare_and_set
 
-  let rec fetch_and_add r n =
+  (* The CAS retry loop backs off exponentially after the first
+     failure: bare spinning makes every retry a fresh cache-line
+     acquisition, so under contention the loop can livelock-crawl
+     while the line ping-pongs (the Power7 analogue should degrade
+     gracefully, as LL/SC with backoff does).  The backoff state is
+     allocated lazily so the uncontended path stays allocation-free. *)
+  let fetch_and_add r n =
     let old = Atomic.get r in
-    if Atomic.compare_and_set r old (old + n) then old else fetch_and_add r n
+    if Atomic.compare_and_set r old (old + n) then old
+    else begin
+      let b = Backoff.create () in
+      let rec retry () =
+        Backoff.backoff b;
+        let old = Atomic.get r in
+        if Atomic.compare_and_set r old (old + n) then old else retry ()
+      in
+      retry ()
+    end
 
   let cpu_relax = Domain.cpu_relax
+
+  module Counters = struct
+    include Hardware_counters
+
+    (* Counter FAA goes through the same CAS-emulation as the scalar
+       [fetch_and_add], so the Power7 analogue is consistent. *)
+    let fetch_and_add t i n =
+      let old = get t i in
+      if compare_and_set t i old (old + n) then old
+      else begin
+        let b = Backoff.create () in
+        let rec retry () =
+          Backoff.backoff b;
+          let old = get t i in
+          if compare_and_set t i old (old + n) then old else retry ()
+        in
+        retry ()
+      end
+  end
 end

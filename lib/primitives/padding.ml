@@ -1,0 +1,55 @@
+(* Cache-line padding for contended heap blocks.
+
+   OCaml 5.1 has no [Atomic.make_contended] (that arrives in 5.2) and
+   no control over heap placement: every [Atomic.t] is a two-word box
+   (header + one field) that the minor heap allocates back to back
+   with whatever was allocated around it.  Two hot atomics allocated
+   near each other — or one hot atomic next to anything another domain
+   writes — therefore share a cache line, and every FAA/CAS on one
+   invalidates the other's line on every other core: false sharing,
+   the exact effect the paper's "as fast as fetch-and-add" thesis
+   assumes away by placing each hot word on its own line.
+
+   [copy_as_padded] is the standard OCaml remedy (the technique behind
+   the multicore-magic library, used by Saturn and kcas): re-allocate
+   the block with dummy trailing fields so the whole block spans at
+   least one full padding unit.  The runtime primitives that implement
+   [Atomic] operate on field 0 and ignore a block's size, so a padded
+   atomic behaves exactly like an unpadded one; the GC scans the
+   dummy fields (they hold [()]) at a negligible one-off cost.
+
+   The padding unit is 128 bytes — two 64-byte lines — to also defeat
+   the adjacent-line prefetcher on Intel parts, matching
+   multicore-magic's choice.  Padding bounds the distance between two
+   padded blocks' hot words from below (>= one unit); it cannot align
+   a block to a line boundary, so a hot word can still share its line
+   with the *tail* of the previous block — dead padding when that
+   neighbour is also padded, which is why all hot words of one
+   subsystem should be padded together. *)
+
+let cache_line_bytes = 128
+let word_bytes = Sys.word_size / 8
+let cache_line_words = cache_line_bytes / word_bytes
+
+(* Total block size (header + fields) of a padded block, in words. *)
+let padded_block_words = cache_line_words
+
+let copy_as_padded (v : 'a) : 'a =
+  let r = Obj.repr v in
+  if
+    (not (Obj.is_block r))
+    || Obj.tag r >= Obj.no_scan_tag (* strings, float records, customs *)
+    || Obj.size r >= padded_block_words - 1
+  then v
+  else begin
+    let n = Obj.size r in
+    (* [Obj.new_block] initializes scannable blocks' fields to [()],
+       so the dummy tail is always a valid value for the GC. *)
+    let b = Obj.new_block (Obj.tag r) (padded_block_words - 1) in
+    for i = 0 to n - 1 do
+      Obj.set_field b i (Obj.field r i)
+    done;
+    Obj.obj b
+  end
+
+let make_padded_atomic v = copy_as_padded (Atomic.make v)

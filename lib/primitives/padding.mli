@@ -1,0 +1,31 @@
+(** Cache-line padding for contended heap blocks (multicore-magic's
+    [copy_as_padded] technique, implemented locally: OCaml 5.1 has no
+    [Atomic.make_contended]).
+
+    Padded blocks span at least {!cache_line_bytes} bytes, so two
+    padded blocks' first fields can never share a cache line (false
+    sharing between them is impossible); see padding.ml for what this
+    does and does not guarantee about unpadded neighbours. *)
+
+val cache_line_bytes : int
+(** The padding unit: 128 bytes (two 64-byte lines, to defeat
+    adjacent-line prefetching). *)
+
+val cache_line_words : int
+(** {!cache_line_bytes} in words (16 on 64-bit). *)
+
+val copy_as_padded : 'a -> 'a
+(** A copy of the given heap block, re-allocated with dummy trailing
+    fields so the block spans a full padding unit.  Identity on
+    immediates, on blocks the GC does not scan (strings, float
+    records, custom blocks such as [Mutex.t]), and on blocks already
+    at least a padding unit large.
+
+    {b Call at construction time only}, before the block is shared:
+    the copy is a distinct block, so padding an object other code
+    already references would split its state. *)
+
+val make_padded_atomic : 'a -> 'a Atomic.t
+(** [copy_as_padded (Atomic.make v)]: a standalone atomic on its own
+    padding unit.  The [Atomic] primitives operate on field 0 and
+    ignore block size, so it behaves exactly like an unpadded one. *)

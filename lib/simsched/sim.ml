@@ -38,6 +38,45 @@ module Atomic_shim : Wfq.Atomic_prims.S = struct
     old
 
   let cpu_relax () = yield ()
+
+  (* Padding is a physical-layout concern with no semantic content, so
+     the simulated atomics implement it as the identity: the text the
+     model checker explores is exactly the text that ships padded. *)
+  let make_contended = make
+
+  module Counters = struct
+    type nonrec t = int t array
+
+    let make ~len ~init =
+      if len < 0 then invalid_arg "Sim.Atomic_shim.Counters.make: negative length";
+      Array.init len (fun _ -> { v = init })
+
+    let length = Array.length
+
+    (* Every access yields, exactly like the scalar primitives, so a
+       counter access is a preemption point the scheduler controls. *)
+    let get c i =
+      yield ();
+      c.(i).v
+
+    let set c i x =
+      yield ();
+      c.(i).v <- x
+
+    let fetch_and_add c i n =
+      yield ();
+      let old = c.(i).v in
+      c.(i).v <- old + n;
+      old
+
+    let compare_and_set c i expected desired =
+      yield ();
+      if c.(i).v = expected then begin
+        c.(i).v <- desired;
+        true
+      end
+      else false
+  end
 end
 
 module Queue = Wfq.Wfqueue_algo.Make (Atomic_shim)

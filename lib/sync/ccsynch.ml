@@ -14,12 +14,25 @@ type node = {
 type t = { tail : node Atomic.t; max_combine : int }
 type handle = { mutable spare : node }
 
+(* [wait] is the word a requester spins on while the combiner works;
+   padding it keeps that spin read-only traffic off the line holding
+   the node's other fields, which the combiner is writing.  The node
+   record itself is also padded so distinct requesters' nodes never
+   share a line. *)
 let new_node () =
-  { req = None; next = Atomic.make None; wait = Atomic.make false; completed = false }
+  Primitives.Padding.copy_as_padded
+    {
+      req = None;
+      next = Atomic.make None;
+      wait = Primitives.Padding.make_padded_atomic false;
+      completed = false;
+    }
 
 let create ?(max_combine = 1024) () =
   assert (max_combine >= 1);
-  { tail = Atomic.make (new_node ()); max_combine }
+  (* [tail] takes an exchange from every arriving requester — the
+     single hottest word of the lock. *)
+  { tail = Primitives.Padding.make_padded_atomic (new_node ()); max_combine }
 
 let handle _t = { spare = new_node () }
 

@@ -18,12 +18,14 @@ let new_segment shift id =
 let create ?(segment_shift = 10) () =
   assert (segment_shift >= 0 && segment_shift <= 20);
   let first = new_segment segment_shift 0 in
+  (* The two indices take every operation's FAA and the two hints take
+     frequent CAS publications; keep each on its own line. *)
   {
     first;
-    tail_hint = Atomic.make first;
-    head_hint = Atomic.make first;
-    tail_index = Atomic.make 0;
-    head_index = Atomic.make 0;
+    tail_hint = Primitives.Padding.make_padded_atomic first;
+    head_hint = Primitives.Padding.make_padded_atomic first;
+    tail_index = Primitives.Padding.make_padded_atomic 0;
+    head_index = Primitives.Padding.make_padded_atomic 0;
     shift = segment_shift;
     mask = (1 lsl segment_shift) - 1;
   }

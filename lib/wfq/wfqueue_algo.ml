@@ -44,13 +44,21 @@ type 'a enq_link = Enq_bottom | Enq_top | Enq_req of 'a enq_request
 type deq_request = { deq_id : int A.t; deq_state : Packed.t A.t }
 type deq_link = Deq_bottom | Deq_top | Deq_req of deq_request
 
-type 'a cell = {
-  value : 'a cell_value A.t;
-  enq : 'a enq_link A.t;
-  deq : deq_link A.t;
-}
+(* A cell is the triple (value, enq, deq) at one offset of a segment
+   (L.5-9).  It is stored flattened: instead of an array of pointers
+   to 3-field cell records (two dependent loads before the atomic
+   box is even reached, and record boxes scattered by the allocator),
+   a segment holds three contiguous parallel planes — [values],
+   [enqs], [deqs] — indexed by the cell offset.  A cell visit is then
+   one array index into the plane the operation actually touches:
+   the fast paths never load the enq/deq planes' boxes at all, and
+   plane entries for neighbouring cells are adjacent, which is the
+   "contiguous cell array" layout of Listing 1.  The protocol never
+   needs the triple atomically — each field is its own SC atomic and
+   all mixed reads were already tolerated (help_enq) — so flattening
+   changes addressing only, not the set of atomic locations.
 
-(* [seg_id] is mutable only so that pooled segments can be relabeled
+   [seg_id] is mutable only so that pooled segments can be relabeled
    while private (between pool pop and publication); every read
    happens after an atomic publication of the segment, exactly like
    reads of a freshly initialized one. *)
@@ -58,7 +66,9 @@ type 'a segment = {
   mutable seg_id : int;
   uid : int; (* physical identity, stable across pool relabeling *)
   next : 'a segment option A.t;
-  cells : 'a cell array;
+  values : 'a cell_value A.t array;
+  enqs : 'a enq_link A.t array;
+  deqs : deq_link A.t array;
 }
 
 (* Immutable free-list node; see the [pool] field below. *)
@@ -131,18 +141,24 @@ type 'a t = {
 (* ------------------------------------------------------------------ *)
 (* Construction (L.27-32)                                             *)
 
-let segment_uids = Atomic.make 0
-let handle_uids = Atomic.make 0
+let segment_uids = Primitives.Padding.make_padded_atomic 0
+let handle_uids = Primitives.Padding.make_padded_atomic 0
 
-let new_cell () =
-  { value = A.make Bottom; enq = A.make Enq_bottom; deq = A.make Deq_bottom }
-
+(* Each plane is allocated in one sweep, so its boxes are laid out
+   consecutively by the minor heap: walking cells in ticket order
+   walks memory in address order.  The boxes themselves stay
+   unpadded — cells are visited by exactly one FAA winner on the fast
+   path, so padding 2^shift cells would cost memory without removing
+   any real contention. *)
 let new_segment shift seg_id =
+  let n = 1 lsl shift in
   {
     seg_id;
     uid = Atomic.fetch_and_add segment_uids 1;
     next = A.make None;
-    cells = Array.init (1 lsl shift) (fun _ -> new_cell ());
+    values = Array.init n (fun _ -> A.make Bottom);
+    enqs = Array.init n (fun _ -> A.make Enq_bottom);
+    deqs = Array.init n (fun _ -> A.make Deq_bottom);
   }
 
 let create ?(patience = 10) ?(segment_shift = 10) ?(max_garbage = 16) ?(reclamation = true) () =
@@ -150,27 +166,35 @@ let create ?(patience = 10) ?(segment_shift = 10) ?(max_garbage = 16) ?(reclamat
   assert (segment_shift >= 0 && segment_shift <= 20);
   assert (max_garbage >= 2);
   let first = new_segment segment_shift 0 in
+  (* Every queue-level atomic another domain can write sits on its own
+     cache line(s): T and H are the paper's two contended FAA words
+     and must not invalidate each other (Listing 1's whole point);
+     [oldest], the pool/free-list heads and the churn counters are
+     CASed/FAAed by concurrent cleaners and would otherwise share
+     lines with T/H or each other, turning cleanup traffic into
+     hot-path misses. *)
   {
-    q = A.make first;
-    tail_index = A.make 0;
-    head_index = A.make 0;
-    oldest = A.make 0;
-    ring = A.make None;
-    null_segment = { seg_id = max_int; uid = -1; next = A.make None; cells = [||] };
+    q = A.make_contended first;
+    tail_index = A.make_contended 0;
+    head_index = A.make_contended 0;
+    oldest = A.make_contended 0;
+    ring = A.make_contended None;
+    null_segment =
+      { seg_id = max_int; uid = -1; next = A.make None; values = [||]; enqs = [||]; deqs = [||] };
     patience;
     max_garbage;
     seg_shift = segment_shift;
     seg_mask = (1 lsl segment_shift) - 1;
     reclamation;
-    reclaimed = A.make 0;
-    allocated = A.make 1;
-    wasted = A.make 0;
-    recycled = A.make 0;
-    pool = A.make None;
-    pool_size = A.make 0;
+    reclaimed = A.make_contended 0;
+    allocated = A.make_contended 1;
+    wasted = A.make_contended 0;
+    recycled = A.make_contended 0;
+    pool = A.make_contended None;
+    pool_size = A.make_contended 0;
     pool_limit = max 32 (4 * max_garbage);
-    free_handles = A.make None;
-    departed_stats = Op_stats.create ();
+    free_handles = A.make_contended None;
+    departed_stats = Primitives.Padding.copy_as_padded (Op_stats.create ());
     dls_handle = Domain.DLS.new_key (fun () -> None);
   }
 
@@ -214,12 +238,9 @@ let pool_push q s =
 
 let reset_segment s =
   tracef (fun () -> Printf.sprintf "reset: uid=%d seg=%d" s.uid s.seg_id);
-  Array.iter
-    (fun c ->
-      A.set c.value Bottom;
-      A.set c.enq Enq_bottom;
-      A.set c.deq Deq_bottom)
-    s.cells
+  Array.iter (fun v -> A.set v Bottom) s.values;
+  Array.iter (fun e -> A.set e Enq_bottom) s.enqs;
+  Array.iter (fun d -> A.set d Deq_bottom) s.deqs
 
 (* Fresh-or-recycled segment with the given id, private to the caller
    until it publishes it. *)
@@ -325,20 +346,30 @@ let register q =
     match pop_free_handle q with
     | Some h -> recycle_handle q h seg (* still linked: ring does not grow *)
     | None ->
+      (* Per-handle hot words on their own lines: [head]/[tail]/[hzdp]
+         are owner-written per operation but scanned by every cleaner
+         (update/verify), the request fields are written by the owner
+         and CASed by helpers, [retired] is read on the push/pop hot
+         path and by the helping rotation, and [stats] is owner-
+         written per operation.  Unpadded, consecutive registrations
+         allocate these boxes back to back, so domain A's enqueue
+         prologue would invalidate domain B's request word — false
+         sharing between handles that never logically interact. *)
       let rec h =
         {
           hid = Atomic.fetch_and_add handle_uids 1;
-          head = A.make seg;
-          tail = A.make seg;
+          head = A.make_contended seg;
+          tail = A.make_contended seg;
           ring_next = A.make None;
-          hzdp = A.make q.null_segment;
-          enq_req = { enq_value = A.make None; enq_state = A.make Packed.initial };
+          hzdp = A.make_contended q.null_segment;
+          enq_req =
+            { enq_value = A.make_contended None; enq_state = A.make_contended Packed.initial };
           enq_peer = h;
           enq_help_id = 0;
-          deq_req = { deq_id = A.make 0; deq_state = A.make Packed.initial };
+          deq_req = { deq_id = A.make_contended 0; deq_state = A.make_contended Packed.initial };
           deq_peer = h;
-          retired = Atomic.make false;
-          stats = Op_stats.create ();
+          retired = Primitives.Padding.make_padded_atomic false;
+          stats = Primitives.Padding.copy_as_padded (Op_stats.create ());
         }
       in
       let rec link () =
@@ -363,7 +394,10 @@ let register q =
 
 (* [sp] is a segment ref whose segment id is <= cell_id / N; after the
    call it points to the segment containing the cell (the paper's
-   side-effect through the paper's Segment pointer-to-pointer). *)
+   side-effect through the paper's Segment pointer-to-pointer).
+   Returns that segment; the cell itself is the planes' entries at
+   offset [cell_id land q.seg_mask] — pure arithmetic, no cell object
+   to chase or allocate. *)
 let find_cell ?(who = "?") q (sp : 'a segment ref) cell_id =
   let target = cell_id lsr q.seg_shift in
   (* A cleaner can advance another thread's head/tail pointer (L.239,
@@ -417,7 +451,7 @@ let find_cell ?(who = "?") q (sp : 'a segment ref) cell_id =
   in
   let s = walk start in
   sp := s;
-  s.cells.(cell_id land q.seg_mask)
+  s
 
 (* Publish [src]'s current segment as [h]'s hazard pointer and
    re-validate that [src] still holds it (Michael's hazard-pointer
@@ -450,10 +484,10 @@ let try_to_claim_req state ~id ~cell_id =
   A.compare_and_set state (Packed.make ~pending:true ~id)
     (Packed.make ~pending:false ~id:cell_id)
 
-(* L.62-64 *)
-let enq_commit q c v cid =
+(* L.62-64: [cv] is the cell's entry in the value plane. *)
+let enq_commit q cv v cid =
   advance_end_for_linearizability q.tail_index (cid + 1);
-  A.set c.value (Value v)
+  A.set cv (Value v)
 
 (* L.65-69: returns None on success, or the failed cell index that
    becomes the slow-path request id. *)
@@ -463,9 +497,9 @@ let enq_fast q h v =
   tracef (fun () ->
       Printf.sprintf "h%d enq_fast: ticket %d, tail seg=%d uid=%d hzdp seg=%d" h.hid i (!sp).seg_id
         (!sp).uid (A.get h.hzdp).seg_id);
-  let c = find_cell ~who:"enq_fast" q sp i in
-  A.set h.tail !sp;
-  if A.compare_and_set c.value Bottom (Value v) then begin
+  let s = find_cell ~who:"enq_fast" q sp i in
+  A.set h.tail s;
+  if A.compare_and_set s.values.(i land q.seg_mask) Bottom (Value v) then begin
     tracef (fun () -> Printf.sprintf "h%d enq_fast: deposit at %d" h.hid i);
     None
   end
@@ -486,13 +520,14 @@ let enq_slow q h v cell_id =
   let tmp_tail = ref (A.get h.tail) in
   let rec acquire () =
     let i = A.fetch_and_add q.tail_index 1 in
-    let c = find_cell ~who:"enq_slow_acq" q tmp_tail i in
+    let s = find_cell ~who:"enq_slow_acq" q tmp_tail i in
+    let j = i land q.seg_mask in
     (* L.79-84, Dijkstra's protocol with the helpers *)
     if
-      (let won = A.compare_and_set c.enq Enq_bottom (Enq_req r) in
+      (let won = A.compare_and_set s.enqs.(j) Enq_bottom (Enq_req r) in
        tracef (fun () -> Printf.sprintf "h%d enq_slow: reserve cell %d -> %b" h.hid i won);
        won)
-      && (match A.get c.value with Bottom -> true | Top | Value _ -> false)
+      && (match A.get s.values.(j) with Bottom -> true | Top | Value _ -> false)
     then begin
       let claimed = try_to_claim_req r.enq_state ~id:cell_id ~cell_id:i in
       tracef (fun () -> Printf.sprintf "h%d enq_slow: self-claim at %d -> %b" h.hid i claimed)
@@ -514,9 +549,9 @@ let enq_slow q h v cell_id =
          (id lsr q.seg_shift) cell_id (A.get h.hzdp).seg_id (A.get q.oldest)
          (A.get q.tail_index));
   let sp = ref (A.get h.tail) in
-  let c = find_cell ~who:"enq_slow_commit" q sp id in
-  A.set h.tail !sp;
-  enq_commit q c v id
+  let s = find_cell ~who:"enq_slow_commit" q sp id in
+  A.set h.tail s;
+  enq_commit q s.values.(id land q.seg_mask) v id
 
 (* L.56-59 *)
 let enqueue_with_hzdp q h v =
@@ -537,23 +572,28 @@ let enqueue_with_hzdp q h v =
 
 type 'a help_enq_result = Henq_value of 'a | Henq_top | Henq_empty
 
-let value_as_result c =
-  match A.get c.value with
+let value_as_result cv =
+  match A.get cv with
   | Value v -> Henq_value v
   | Top -> Henq_top
   | Bottom -> assert false (* the cell was already ⊤ or a value *)
 
-let help_enq q h c i =
+(* [s] is the segment holding cell [i]; the cell's two fields this
+   function touches are bound once from the planes up front. *)
+let help_enq q h (s : 'a segment) i =
+  let j = i land q.seg_mask in
+  let cv = s.values.(j) in
+  let ce = s.enqs.(j) in
   if
     (not
-       (let poisoned = A.compare_and_set c.value Bottom Top in
+       (let poisoned = A.compare_and_set cv Bottom Top in
         if poisoned then tracef (fun () -> Printf.sprintf "h%d help_enq: poison cell %d" h.hid i);
         poisoned))
-    && (match A.get c.value with Value _ -> true | Top | Bottom -> false)
-  then value_as_result c (* L.91: the cell already holds a value *)
+    && (match A.get cv with Value _ -> true | Top | Bottom -> false)
+  then value_as_result cv (* L.91: the cell already holds a value *)
   else begin
     (* c.value is ⊤: try to complete a slow-path enqueue here. *)
-    (match A.get c.enq with
+    (match A.get ce with
     | Enq_req _ | Enq_top -> ()
     | Enq_bottom ->
       (* L.94-100: find the peer request to help; at most two rounds *)
@@ -575,7 +615,7 @@ let help_enq q h c i =
         Packed.pending s
         && Packed.id s <= i
         && not
-             (let won = A.compare_and_set c.enq Enq_bottom (Enq_req r) in
+             (let won = A.compare_and_set ce Enq_bottom (Enq_req r) in
               if won then
                 tracef (fun () ->
                     Printf.sprintf "h%d help_enq: reserved cell %d for peer h%d (req id %d)"
@@ -584,11 +624,11 @@ let help_enq q h c i =
       then h.enq_help_id <- Packed.id s
       else h.enq_peer <- next_live_handle p;
       (* L.109-111: close the cell to enqueue helpers if unused *)
-      (match A.get c.enq with
-      | Enq_bottom -> ignore (A.compare_and_set c.enq Enq_bottom Enq_top)
+      (match A.get ce with
+      | Enq_bottom -> ignore (A.compare_and_set ce Enq_bottom Enq_top)
       | Enq_req _ | Enq_top -> ()));
     (* invariant: c.enq is a request or ⊤e (L.113) *)
-    match A.get c.enq with
+    match A.get ce with
     | Enq_bottom -> assert false
     | Enq_top ->
       (* L.114-116: nobody will fill this cell *)
@@ -601,10 +641,10 @@ let help_enq q h c i =
       if Packed.id s > i then begin
         (* L.119-122: request unsuitable for this cell *)
         if
-          (match A.get c.value with Top -> true | Value _ | Bottom -> false)
+          (match A.get cv with Top -> true | Value _ | Bottom -> false)
           && A.get q.tail_index <= i
         then Henq_empty
-        else value_as_result c
+        else value_as_result cv
       end
       else begin
         (* L.123-126.  The paper's second disjunct compares the STALE
@@ -625,16 +665,16 @@ let help_enq q h c i =
         let claimed_for_cell =
           claimed_by_us
           || Packed.equal (A.get r.enq_state) (Packed.make ~pending:false ~id:i)
-             && (match A.get c.value with Top -> true | Value _ | Bottom -> false)
+             && (match A.get cv with Top -> true | Value _ | Bottom -> false)
         in
         if claimed_for_cell then begin
           match v with
           | Some v ->
             tracef (fun () -> Printf.sprintf "h%d help_enq: commit value at cell %d" h.hid i);
-            enq_commit q c v i
+            enq_commit q cv v i
           | None -> assert false (* a claimed request had its value published *)
         end;
-        value_as_result c (* L.127 *)
+        value_as_result cv (* L.127 *)
       end
   end
 
@@ -647,13 +687,13 @@ type 'a deq_fast_result = Dq_value of 'a | Dq_empty | Dq_fail of int
 let deq_fast q h =
   let i = A.fetch_and_add q.head_index 1 in
   let sp = ref (A.get h.head) in
-  let c = find_cell ~who:"deq_fast" q sp i in
-  A.set h.head !sp;
-  match help_enq q h c i with
+  let s = find_cell ~who:"deq_fast" q sp i in
+  A.set h.head s;
+  match help_enq q h s i with
   | Henq_empty ->
     tracef (fun () -> Printf.sprintf "h%d deq_fast: cell %d EMPTY" h.hid i);
     Dq_empty
-  | Henq_value v when A.compare_and_set c.deq Deq_bottom Deq_top ->
+  | Henq_value v when A.compare_and_set s.deqs.(i land q.seg_mask) Deq_bottom Deq_top ->
     tracef (fun () -> Printf.sprintf "h%d deq_fast: took value at cell %d" h.hid i);
     Dq_value v
   | Henq_value _ | Henq_top ->
@@ -681,11 +721,13 @@ let help_deq q h helpee =
       let hc = ref !ha in
       while !cand = 0 && Packed.id !s = !prior do
         incr i;
-        let c = find_cell ~who:"help_deq_cand" q hc !i in
-        match help_enq q h c !i with
+        let seg = find_cell ~who:"help_deq_cand" q hc !i in
+        match help_enq q h seg !i with
         | Henq_empty -> cand := !i
         | Henq_value _
-          when (match A.get c.deq with Deq_bottom -> true | Deq_top | Deq_req _ -> false)
+          when (match A.get seg.deqs.(!i land q.seg_mask) with
+               | Deq_bottom -> true
+               | Deq_top | Deq_req _ -> false)
           -> cand := !i
         | Henq_value _ | Henq_top -> s := A.get r.deq_state
       done;
@@ -705,11 +747,14 @@ let help_deq q h helpee =
       if (not (Packed.pending !s)) || A.get r.deq_id <> id then finished := true
       else begin
         (* L.189-199: inspect the announced candidate *)
-        let c = find_cell ~who:"help_deq_ann" q ha (Packed.id !s) in
+        let seg = find_cell ~who:"help_deq_ann" q ha (Packed.id !s) in
+        let j = Packed.id !s land q.seg_mask in
         let satisfied =
-          (match A.get c.value with Top -> true | Value _ | Bottom -> false)
-          || A.compare_and_set c.deq Deq_bottom (Deq_req r)
-          || (match A.get c.deq with Deq_req r' -> r' == r | Deq_bottom | Deq_top -> false)
+          (match A.get seg.values.(j) with Top -> true | Value _ | Bottom -> false)
+          || A.compare_and_set seg.deqs.(j) Deq_bottom (Deq_req r)
+          || (match A.get seg.deqs.(j) with
+             | Deq_req r' -> r' == r
+             | Deq_bottom | Deq_top -> false)
         in
         if satisfied then begin
           let closed =
@@ -742,9 +787,9 @@ let deq_slow q h cell_id =
   help_deq q h h;
   let i = Packed.id (A.get r.deq_state) in
   let sp = ref (A.get h.head) in
-  let c = find_cell ~who:"deq_slow_res" q sp i in
-  A.set h.head !sp;
-  let v = A.get c.value in
+  let s = find_cell ~who:"deq_slow_res" q sp i in
+  A.set h.head s;
+  let v = A.get s.values.(i land q.seg_mask) in
   advance_end_for_linearizability q.head_index (i + 1);
   match v with
   | Top -> None
@@ -1006,7 +1051,10 @@ let oldest_segment_id q = A.get q.oldest
 (* Whitebox access for deterministic slow-path tests (see .mli)       *)
 
 module Internal = struct
-  type nonrec 'a cell = 'a cell
+  (* A cell view for the whitebox tests: the owning segment plus the
+     cell's offset into its planes.  The production paths never build
+     one — they index the planes directly. *)
+  type 'a cell = { cseg : 'a segment; coff : int; cid : int }
 
   let faa_tail q = A.fetch_and_add q.tail_index 1
   let faa_head q = A.fetch_and_add q.head_index 1
@@ -1015,15 +1063,15 @@ module Internal = struct
 
   let cell_of q h i =
     let sp = ref (A.get h.tail) in
-    let c = find_cell ~who:"internal_cell" q sp i in
-    A.set h.tail !sp;
-    c
+    let s = find_cell ~who:"internal_cell" q sp i in
+    A.set h.tail s;
+    { cseg = s; coff = i land q.seg_mask; cid = i }
 
-  let poison_cell c = A.compare_and_set c.value Bottom Top
-  let claim_cell_deq c = A.compare_and_set c.deq Deq_bottom Deq_top
+  let poison_cell c = A.compare_and_set c.cseg.values.(c.coff) Bottom Top
+  let claim_cell_deq c = A.compare_and_set c.cseg.deqs.(c.coff) Deq_bottom Deq_top
 
   let cell_value c =
-    match A.get c.value with Value v -> Some v | Top | Bottom -> None
+    match A.get c.cseg.values.(c.coff) with Value v -> Some v | Top | Bottom -> None
 
   let enq_slow = enq_slow
   let deq_slow = deq_slow
@@ -1047,7 +1095,8 @@ module Internal = struct
   let deq_request_pending h = Packed.pending (A.get h.deq_req.deq_state)
 
   let help_enq q h c i =
-    match help_enq q h c i with
+    assert (c.cid = i);
+    match help_enq q h c.cseg i with
     | Henq_value v -> `Value v
     | Henq_top -> `Top
     | Henq_empty -> `Empty
@@ -1057,24 +1106,26 @@ module Internal = struct
   let deq_request_result q h =
     let i = Packed.id (A.get h.deq_req.deq_state) in
     let sp = ref (A.get h.head) in
-    let c = find_cell ~who:"internal_res" q sp i in
-    A.set h.head !sp;
-    let v = A.get c.value in
+    let s = find_cell ~who:"internal_res" q sp i in
+    A.set h.head s;
+    let v = A.get s.values.(i land q.seg_mask) in
     advance_end_for_linearizability q.head_index (i + 1);
     match v with Top -> None | Value v -> Some v | Bottom -> None
 
   let cleanup = cleanup
 
   let cell_debug c h =
-    let value = match A.get c.value with Bottom -> "bot" | Top -> "TOP" | Value _ -> "VAL" in
+    let value =
+      match A.get c.cseg.values.(c.coff) with Bottom -> "bot" | Top -> "TOP" | Value _ -> "VAL"
+    in
     let enq =
-      match A.get c.enq with
+      match A.get c.cseg.enqs.(c.coff) with
       | Enq_bottom -> "bot"
       | Enq_top -> "TOP"
       | Enq_req r -> if r == h.enq_req then "REQ(this)" else "REQ(other)"
     in
     let deq =
-      match A.get c.deq with
+      match A.get c.cseg.deqs.(c.coff) with
       | Deq_bottom -> "bot"
       | Deq_top -> "TOP"
       | Deq_req r -> if r == h.deq_req then "DREQ(this)" else "DREQ(other)"

@@ -93,6 +93,50 @@ let test_linearizable_per_schedule () =
     | Wgl.Too_large -> Alcotest.fail "history too large"
   done
 
+let test_flat_cells_linearizable () =
+  (* The flat parallel-plane cell representation (values/enqs/deqs
+     arrays indexed by [i land seg_mask]) replaced the per-cell record;
+     a masking or plane-indexing bug would let two logical cells alias
+     one slot.  Sweep the segment sizes that maximize aliasing
+     opportunities — shift 0 (every cell is slot 0 of its own segment,
+     maximal segment churn), 1, and 2 — under many schedules, checking
+     every history against the sequential queue spec. *)
+  List.iter
+    (fun shift ->
+      for seed = 1 to 800 do
+        let q = Q.create ~patience:0 ~segment_shift:shift ~max_garbage:2 () in
+        let handles = Array.init 3 (fun _ -> Q.register q) in
+        let events = ref [] in
+        let record thread input f =
+          let inv = Sim.now () in
+          let output = f () in
+          let res = Sim.now () in
+          events := { H.thread; input; output; inv; res } :: !events
+        in
+        let fiber t () =
+          let h = handles.(t) in
+          let rng = Primitives.Splitmix64.create (Int64.of_int ((seed * 331) + t)) in
+          for i = 0 to 3 do
+            if Primitives.Splitmix64.bool rng then
+              record t (Spec.Enq ((t * 100) + i)) (fun () ->
+                  Q.enqueue q h ((t * 100) + i);
+                  Spec.Accepted)
+            else
+              record t Spec.Deq (fun () ->
+                  match Q.dequeue q h with Some v -> Spec.Got v | None -> Spec.Empty)
+          done
+        in
+        ignore (run_ok ~seed [| fiber 0; fiber 1; fiber 2 |]);
+        let evs = Array.of_list (List.rev !events) in
+        Array.sort (fun a b -> compare a.H.inv b.H.inv) evs;
+        match Wgl.check evs with
+        | Wgl.Linearizable _ -> ()
+        | Wgl.Not_linearizable ->
+          Alcotest.failf "shift %d seed %d: non-linearizable schedule" shift seed
+        | Wgl.Too_large -> Alcotest.fail "history too large"
+      done)
+    [ 0; 1; 2 ]
+
 let test_slow_paths_under_schedules () =
   (* patience 0 with competing dequeuers: slow paths and helping run
      under many interleavings; wait-freedom = no schedule may hit the
@@ -631,6 +675,7 @@ let () =
         [
           Alcotest.test_case "value conservation" `Quick test_conservation;
           Alcotest.test_case "linearizable per schedule" `Quick test_linearizable_per_schedule;
+          Alcotest.test_case "flat cells linearizable" `Quick test_flat_cells_linearizable;
           Alcotest.test_case "slow paths" `Quick test_slow_paths_under_schedules;
           Alcotest.test_case "reclamation" `Quick test_reclamation_under_schedules;
           Alcotest.test_case "helping" `Quick test_internal_helping_under_schedules;
