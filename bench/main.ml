@@ -10,7 +10,10 @@
                  fifty-fifty benchmark and the ablations.
    --json [PATH] after running, write the machine-readable results
                  (Bechamel ns/pair, Figure 2 pairs points, false
-                 sharing, host info) to PATH (default BENCH_pr2.json).
+                 sharing, wait-freedom telemetry, host info) to PATH
+                 (default BENCH_pr3.json).  The committed BENCH_pr3.json
+                 is the baseline bin/bench_gate.exe checks CI runs
+                 against.
 
    Full-strength runs (the paper's 10-invocation methodology, 10^7
    ops) are available through bin/repro.exe; this executable is sized
@@ -44,7 +47,7 @@ let parse_cli () =
         json_path := Some path;
         go rest'
       | _ ->
-        json_path := Some "BENCH_pr2.json";
+        json_path := Some "BENCH_pr3.json";
         go rest)
     | arg :: _ ->
       Printf.eprintf "bench/main.exe: unknown argument %S\n" arg;
@@ -228,6 +231,17 @@ let () =
   let ops_per_domain = if cli.smoke then 500_000 else 2_000_000 in
   let _, fs_results = Harness.False_sharing.experiment ~ops_per_domain () in
 
+  (* Wait-freedom telemetry: the instrumented build's fast/slow-path
+     breakdown across patience values (the regression gate reads the
+     patience-10 row's slow-path rate from the JSON) *)
+  print_endline "\n== Wait-freedom telemetry (instrumented build, 4 threads) ==";
+  let telemetry_rows =
+    Harness.Telemetry.stats_table ~threads:4
+      ~total_ops:(if cli.smoke then 100_000 else 400_000)
+      ()
+  in
+  Format.printf "%a@?" Harness.Telemetry.pp_table telemetry_rows;
+
   if not cli.smoke then begin
     (* Ablations *)
     ignore (Harness.Experiments.ablation_patience ~quick:true ~threads:4 ~total_ops ());
@@ -248,6 +262,7 @@ let () =
           ("bechamel_pair", json_of_bechamel bechamel_estimates);
           ("figure2_pairs", json_of_fig2 fig2_pairs);
           ("false_sharing", json_of_false_sharing fs_results);
+          ("telemetry", Harness.Telemetry.table_to_json telemetry_rows);
         ]
     in
     Harness.Json.save doc ~path;

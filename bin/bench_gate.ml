@@ -1,0 +1,81 @@
+(* The CI bench regression gate (logic in Harness.Gate; this is only
+   argument parsing, file IO and exit codes):
+
+     bench_gate --baseline BENCH_pr3.json --current BENCH_smoke.json
+
+   Exit 0: every check passed.
+   Exit 1: at least one throughput or slow-path-rate check failed.
+   Exit 2: a document was missing/unreadable/structurally unusable —
+           deliberately distinct from 1 so CI logs distinguish "the
+           queue got slower" from "the harness broke". *)
+
+open Cmdliner
+
+let path_arg name doc =
+  Arg.(required & opt (some string) None & info [ name ] ~docv:"PATH" ~doc)
+
+let baseline_arg = path_arg "baseline" "Committed baseline JSON (bench/main.exe --json)."
+let current_arg = path_arg "current" "Freshly measured JSON to check against the baseline."
+
+let noise_mult_arg =
+  let doc = "Failure threshold in baseline noise bands below the baseline mean." in
+  Arg.(value & opt float Harness.Gate.default_noise_mult & info [ "noise-mult" ] ~docv:"X" ~doc)
+
+let rel_floor_arg =
+  let doc = "Minimum noise band as a fraction of the baseline mean." in
+  Arg.(value & opt float Harness.Gate.default_rel_floor & info [ "rel-floor" ] ~docv:"X" ~doc)
+
+let max_slow_rate_arg =
+  let doc = "Maximum acceptable wf slow-path rate in the current telemetry block." in
+  Arg.(
+    value
+    & opt float Harness.Gate.default_max_slow_rate
+    & info [ "max-slow-rate" ] ~docv:"RATE" ~doc)
+
+let patience_arg =
+  let doc = "Patience value whose telemetry row carries the slow-path-rate check." in
+  Arg.(
+    value
+    & opt int Harness.Gate.default_slow_rate_patience
+    & info [ "patience" ] ~docv:"N" ~doc)
+
+let run baseline_path current_path noise_mult rel_floor max_slow_rate slow_rate_patience =
+  let load what path =
+    match Harness.Json.load ~path with
+    | Ok doc -> doc
+    | Error msg ->
+      Printf.eprintf "bench_gate: cannot load %s %s: %s\n" what path msg;
+      exit 2
+  in
+  let baseline = load "baseline" baseline_path in
+  let current = load "current" current_path in
+  match
+    Harness.Gate.compare_docs ~noise_mult ~rel_floor ~max_slow_rate ~slow_rate_patience
+      ~baseline ~current ()
+  with
+  | Error msg ->
+    Printf.eprintf "bench_gate: %s\n" msg;
+    exit 2
+  | Ok checks ->
+    Printf.printf "bench_gate: %s (noise band x%.1f, floor %.0f%%) vs %s\n" current_path
+      noise_mult (rel_floor *. 100.0) baseline_path;
+    Format.printf "%a@?" Harness.Gate.pp_checks checks;
+    if Harness.Gate.passed checks then begin
+      print_endline "bench_gate: PASS";
+      exit 0
+    end
+    else begin
+      print_endline "bench_gate: FAIL";
+      exit 1
+    end
+
+let () =
+  let info =
+    Cmd.info "bench_gate" ~doc:"Fail CI when smoke-bench throughput or wait-freedom regresses"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(
+            const run $ baseline_arg $ current_arg $ noise_mult_arg $ rel_floor_arg
+            $ max_slow_rate_arg $ patience_arg)))

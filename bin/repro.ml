@@ -127,6 +127,72 @@ let latency_cmd =
     (Cmd.info "latency" ~doc:"Per-operation latency tails (the wait-freedom predictability claim)")
     Term.(const run $ csv_arg $ one_thread_arg $ queues_arg)
 
+let patience_list_arg =
+  let doc = "Comma-separated patience values to sweep." in
+  Arg.(
+    value
+    & opt (list int) Harness.Telemetry.default_patiences
+    & info [ "patience" ] ~docv:"P,P,..." ~doc)
+
+let json_arg =
+  let doc = "Also write the telemetry rows as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+
+let stats_cmd =
+  let run threads total_ops bench patiences json =
+    match Harness.Workload.kind_of_string bench with
+    | Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok kind ->
+      let total_ops = Option.value total_ops ~default:400_000 in
+      Printf.printf
+        "Wait-freedom telemetry: instrumented wf queue, %d threads, %s workload, %d ops/row\n"
+        threads
+        (Harness.Workload.kind_to_string kind)
+        total_ops;
+      Printf.printf "(slow/Mop = slow-path operations per million; the paper's §6 claim is\n";
+      Printf.printf " that patience ~10 makes slow paths negligible)\n\n";
+      let rows = Harness.Telemetry.stats_table ~kind ~patiences ~total_ops ~threads () in
+      Format.printf "%a@." Harness.Telemetry.pp_table rows;
+      Format.printf "Latency tails (timing overhead included; relative shape is the signal):@.";
+      List.iter
+        (fun (r : Harness.Telemetry.row) ->
+          List.iter
+            (fun cls ->
+              let s = Obs.Op_latency.summarize r.result.latency cls in
+              if s.Obs.Op_latency.samples > 0 then
+                Format.printf
+                  "  patience %-3d %-13s p50 %7.0fns  p90 %7.0fns  p99 %7.0fns  max %9.0fns@."
+                  r.patience
+                  (Obs.Op_latency.class_name cls)
+                  s.p50_ns s.p90_ns s.p99_ns s.max_ns)
+            Obs.Op_latency.classes)
+        rows;
+      (match List.rev rows with
+      | last :: _ -> (
+        match last.result.snapshot with
+        | Some snap ->
+          Format.printf "@.Snapshot of the last run (patience %d):@.%a@." last.patience
+            Obs.Snapshot.pp snap
+        | None -> ())
+      | [] -> ());
+      Option.iter
+        (fun path ->
+          Harness.Json.save (Harness.Telemetry.table_to_json rows) ~path;
+          Printf.printf "Wrote %s\n" path)
+        json
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Fast/slow-path telemetry table: slow-path rate, CAS failures, helping events and \
+          latency tails of the instrumented wait-free queue across patience values")
+    Term.(
+      const run
+      $ Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N" ~doc:"Worker domains.")
+      $ total_ops_arg $ bench_arg $ patience_list_arg $ json_arg)
+
 let list_cmd =
   let run () =
     List.iter
@@ -169,6 +235,7 @@ let () =
             ablation_garbage_cmd;
             ablation_reclaim_cmd;
             latency_cmd;
+            stats_cmd;
             list_cmd;
             all_cmd;
           ]))

@@ -1,17 +1,24 @@
-(* LCRQ as a functor over atomic primitives (rings included). *)
+(* LCRQ as a functor over atomic primitives (rings included).
 
-module Make (A : Primitives.Atomic_prims.S) = struct
+   The probe argument mirrors the wait-free queue's: with [P.enabled]
+   each handle records operation counts and contention events
+   (ring-close on enqueue, ring-advance on dequeue) into an
+   [Obs.Counters.t], free when disabled. *)
+
+module Make (A : Primitives.Atomic_prims.S) (P : Obs.Probe.S) = struct
 module C = Crq_algo.Make (A)
 type 'a t = { head : 'a C.t A.t; tail : 'a C.t A.t; ring_size : int }
-type 'a handle = unit
+type 'a handle = { stats : Obs.Counters.t }
 
 let create ?(ring_size = 4096) () =
   let first = C.create ~size:ring_size in
   { head = A.make_contended first; tail = A.make_contended first; ring_size }
 
-let register _t = ()
+let register _t = { stats = Obs.Counters.create_padded () }
 
-let enqueue t () v =
+let handle_stats h = h.stats
+
+let enqueue t h v =
   let rec loop () =
     let crq = A.get t.tail in
     match A.get (C.next crq) with
@@ -23,6 +30,8 @@ let enqueue t () v =
       (match C.enqueue crq v with
       | `Ok -> ()
       | `Closed ->
+        if P.enabled then
+          h.stats.enq_cas_failures <- h.stats.enq_cas_failures + 1;
         let fresh = C.create ~size:t.ring_size in
         (match C.enqueue fresh v with
         | `Ok -> ()
@@ -31,9 +40,10 @@ let enqueue t () v =
           ignore (A.compare_and_set t.tail crq fresh)
         else loop ())
   in
-  loop ()
+  loop ();
+  if P.enabled then h.stats.fast_enqueues <- h.stats.fast_enqueues + 1
 
-let dequeue t () =
+let dequeue t h =
   let rec loop () =
     let crq = A.get t.head in
     match C.dequeue crq with
@@ -48,10 +58,17 @@ let dequeue t () =
         match C.dequeue crq with
         | Some v -> Some v
         | None ->
+          if P.enabled then
+            h.stats.deq_cas_failures <- h.stats.deq_cas_failures + 1;
           ignore (A.compare_and_set t.head crq n);
           loop ()))
   in
-  loop ()
+  let v = loop () in
+  (if P.enabled then
+     match v with
+     | Some _ -> h.stats.fast_dequeues <- h.stats.fast_dequeues + 1
+     | None -> h.stats.empty_dequeues <- h.stats.empty_dequeues + 1);
+  v
 
 let ring_count t =
   let rec count crq acc =

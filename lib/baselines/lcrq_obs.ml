@@ -1,0 +1,4 @@
+(* Instrumented LCRQ: hardware atomics with the probe enabled, so
+   ring-close/ring-advance events are recorded.  [Lcrq] (probe
+   disabled) is the one benchmarked. *)
+include Lcrq_algo.Make (Primitives.Atomic_prims.Real) (Obs.Probe.Enabled)

@@ -1,0 +1,5 @@
+(* Instrumented MS-Queue: hardware atomics with the probe enabled, so
+   CAS-retry counts are recorded.  Used by the telemetry harness for
+   side-by-side contention tables; [Msqueue] (probe disabled) is the
+   one benchmarked. *)
+include Msqueue_algo.Make (Primitives.Atomic_prims.Real) (Obs.Probe.Enabled)

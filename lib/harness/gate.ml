@@ -1,0 +1,109 @@
+(* See gate.mli. *)
+
+type point = { queue : string; threads : int; mean : float; lower : float; upper : float }
+
+type check = { label : string; ok : bool; detail : string }
+
+let ( let* ) = Result.bind
+
+let points_of_doc doc =
+  match Json.member "figure2_pairs" doc with
+  | None -> Error "no \"figure2_pairs\" array in document"
+  | Some pts -> (
+    match Json.to_list_opt pts with
+    | None -> Error "\"figure2_pairs\" is not an array"
+    | Some items ->
+      let parse i item =
+        let str k = Option.bind (Json.member k item) Json.to_string_opt in
+        let num k = Option.bind (Json.member k item) Json.to_float_opt in
+        let int k = Option.bind (Json.member k item) Json.to_int_opt in
+        match (str "queue", int "threads", num "mops_mean", num "mops_lower", num "mops_upper") with
+        | Some queue, Some threads, Some mean, Some lower, Some upper ->
+          Ok { queue; threads; mean; lower; upper }
+        | _ -> Error (Printf.sprintf "figure2_pairs[%d]: missing or ill-typed field" i)
+      in
+      List.fold_left
+        (fun acc (i, item) ->
+          let* acc = acc in
+          let* p = parse i item in
+          Ok (p :: acc))
+        (Ok [])
+        (List.mapi (fun i item -> (i, item)) items)
+      |> Result.map List.rev)
+
+let telemetry_slow_rate ~patience doc =
+  (* The telemetry block is a list of {patience; run: {snapshot: {ops:
+     {slow_rate}}}} rows (see Telemetry.table_to_json). *)
+  let ( >>= ) = Option.bind in
+  Json.member "telemetry" doc >>= Json.to_list_opt >>= fun rows ->
+  List.find_opt
+    (fun row -> Json.member "patience" row >>= Json.to_int_opt = Some patience)
+    rows
+  >>= fun row ->
+  Json.member "run" row >>= Json.member "snapshot" >>= Json.member "ops"
+  >>= Json.member "slow_rate" >>= Json.to_float_opt
+
+let default_noise_mult = 3.0
+let default_rel_floor = 0.10
+let default_max_slow_rate = 1e-3
+let default_slow_rate_patience = 10
+
+let throughput_checks ~noise_mult ~rel_floor ~baseline_points ~current_points =
+  List.filter_map
+    (fun (b : point) ->
+      let key = Printf.sprintf "%s @%dT" b.queue b.threads in
+      match
+        List.find_opt (fun c -> c.queue = b.queue && c.threads = b.threads) current_points
+      with
+      | None ->
+        (* A queue present in the baseline but absent from the current
+           run is itself a regression (a silently dropped benchmark
+           would otherwise disable its own gate). *)
+        Some { label = key; ok = false; detail = "missing from current results" }
+      | Some c ->
+        let band = Float.max (b.upper -. b.lower) (rel_floor *. b.mean) in
+        let floor_mops = b.mean -. (noise_mult *. band) in
+        let ok = c.mean >= floor_mops in
+        Some
+          {
+            label = key;
+            ok;
+            detail =
+              Printf.sprintf "baseline %.3f Mops/s (band %.3f), current %.3f, floor %.3f"
+                b.mean band c.mean floor_mops;
+          })
+    baseline_points
+
+let slow_rate_check ~max_slow_rate ~patience current =
+  match telemetry_slow_rate ~patience current with
+  | None ->
+    {
+      label = Printf.sprintf "wf slow-path rate @patience %d" patience;
+      ok = false;
+      detail = "no telemetry block with that patience in current results";
+    }
+  | Some rate ->
+    {
+      label = Printf.sprintf "wf slow-path rate @patience %d" patience;
+      ok = rate <= max_slow_rate;
+      detail = Printf.sprintf "rate %.2e, limit %.2e" rate max_slow_rate;
+    }
+
+let compare_docs ?(noise_mult = default_noise_mult) ?(rel_floor = default_rel_floor)
+    ?(max_slow_rate = default_max_slow_rate)
+    ?(slow_rate_patience = default_slow_rate_patience) ~baseline ~current () =
+  let* baseline_points = points_of_doc baseline in
+  let* current_points = points_of_doc current in
+  let checks =
+    throughput_checks ~noise_mult ~rel_floor ~baseline_points ~current_points
+    @ [ slow_rate_check ~max_slow_rate ~patience:slow_rate_patience current ]
+  in
+  Ok checks
+
+let passed checks = List.for_all (fun c -> c.ok) checks
+
+let pp_checks fmt checks =
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "%s %-28s %s@\n" (if c.ok then "PASS" else "FAIL") c.label c.detail)
+    checks

@@ -1,0 +1,57 @@
+(** The bench regression gate: compares a current smoke-bench JSON
+    document ([bench/main.exe --smoke --json]) against a committed
+    baseline and decides pass/fail.
+
+    Two families of checks:
+
+    - {b throughput}: for every [(queue, threads)] point in the
+      baseline's [figure2_pairs], the current mean must not fall more
+      than [noise_mult] noise bands below the baseline mean, where the
+      band is [max(upper - lower, rel_floor * mean)] — the confidence
+      interval widened to a floor so a suspiciously tight baseline
+      interval cannot turn measurement noise into failures.  A point
+      missing from the current document fails (a dropped benchmark
+      must not disable its own gate).
+    - {b wait-freedom}: the current document's telemetry block must
+      show a wf slow-path rate at [slow_rate_patience] of at most
+      [max_slow_rate] — the paper's §6 claim, downgraded from 1e-6 to
+      a CI-safe 1e-3 because smoke runs on a loaded shared runner see
+      real preemption.
+
+    Logic only — [bin/bench_gate.exe] is the CLI around it. *)
+
+type point = { queue : string; threads : int; mean : float; lower : float; upper : float }
+
+type check = { label : string; ok : bool; detail : string }
+
+val points_of_doc : Json.t -> (point list, string) result
+(** Extract [figure2_pairs] throughput points. *)
+
+val telemetry_slow_rate : patience:int -> Json.t -> float option
+(** The telemetry block's slow-path rate at the given patience, if the
+    document carries one. *)
+
+val default_noise_mult : float (** 3.0 *)
+
+val default_rel_floor : float (** 0.10 *)
+
+val default_max_slow_rate : float (** 1e-3 *)
+
+val default_slow_rate_patience : int (** 10 *)
+
+val compare_docs :
+  ?noise_mult:float ->
+  ?rel_floor:float ->
+  ?max_slow_rate:float ->
+  ?slow_rate_patience:int ->
+  baseline:Json.t ->
+  current:Json.t ->
+  unit ->
+  (check list, string) result
+(** All checks, in baseline order.  [Error] means a document was
+    structurally unusable (not a failed check). *)
+
+val passed : check list -> bool
+
+val pp_checks : Format.formatter -> check list -> unit
+(** One PASS/FAIL line per check. *)

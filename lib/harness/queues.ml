@@ -5,6 +5,7 @@ type instance = {
   register : unit -> ops;
   op_stats : unit -> Wfq.Op_stats.t option;
   reset_op_stats : unit -> unit;
+  snapshot : unit -> Obs.Snapshot.t option;
 }
 
 type factory = {
@@ -41,6 +42,39 @@ let wf ?(patience = 10) ?segment_shift ?max_garbage ?reclamation ?name () =
               });
           op_stats = (fun () -> Some (Wfq.Wfqueue.stats q));
           reset_op_stats = (fun () -> Wfq.Wfqueue.reset_stats q);
+          snapshot = (fun () -> Some (Wfq.Wfqueue.snapshot q));
+        });
+  }
+
+(* Same queue, instrumented instantiation: the probe's event tier (CAS
+   failures, cells skipped, helping) is compiled in.  Benchmarked
+   side-by-side with [wf] to price the instrumentation; used by
+   [repro stats] and the bench telemetry block. *)
+let wf_obs ?(patience = 10) ?segment_shift ?max_garbage ?reclamation ?name () =
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "wf-%d-obs" patience
+  in
+  {
+    name;
+    description =
+      Printf.sprintf "wait-free queue (patience %d), telemetry probe enabled" patience;
+    is_real_queue = true;
+    make =
+      (fun () ->
+        let q = Wfq.Wfqueue_obs.create ~patience ?segment_shift ?max_garbage ?reclamation () in
+        {
+          iname = name;
+          register =
+            (fun () ->
+              let h = Wfq.Wfqueue_obs.register q in
+              {
+                enqueue = (fun v -> Wfq.Wfqueue_obs.enqueue q h v);
+                dequeue = (fun () -> Wfq.Wfqueue_obs.dequeue q h);
+                release = (fun () -> Wfq.Wfqueue_obs.retire q h);
+              });
+          op_stats = (fun () -> Some (Wfq.Wfqueue_obs.stats q));
+          reset_op_stats = (fun () -> Wfq.Wfqueue_obs.reset_stats q);
+          snapshot = (fun () -> Some (Wfq.Wfqueue_obs.snapshot q));
         });
   }
 
@@ -52,7 +86,13 @@ let simple name description is_real_queue make_ops =
     make =
       (fun () ->
         let register = make_ops () in
-        { iname = name; register; op_stats = (fun () -> None); reset_op_stats = ignore });
+        {
+          iname = name;
+          register;
+          op_stats = (fun () -> None);
+          reset_op_stats = ignore;
+          snapshot = (fun () -> None);
+        });
   }
 
 let lcrq ?(ring_size = 4096) () =
@@ -151,6 +191,7 @@ let all =
   [
     wf ~patience:10 ();
     wf ~patience:0 ();
+    wf_obs ~patience:10 ();
     wf_llsc;
     lcrq ();
     ccqueue;

@@ -20,6 +20,9 @@ type instance = {
   register : unit -> ops; (* called once per participating domain *)
   op_stats : unit -> Wfq.Op_stats.t option; (* path breakdown, WF only *)
   reset_op_stats : unit -> unit;
+  snapshot : unit -> Obs.Snapshot.t option;
+      (* full telemetry snapshot (counters + segment/handle gauges),
+         WF only; the event tier is non-zero only for [wf_obs] *)
 }
 
 type factory = {
@@ -33,10 +36,16 @@ val wf : ?patience:int -> ?segment_shift:int -> ?max_garbage:int -> ?reclamation
   ?name:string -> unit -> factory
 (** The paper's queue with explicit parameters (used by ablations). *)
 
+val wf_obs : ?patience:int -> ?segment_shift:int -> ?max_garbage:int -> ?reclamation:bool ->
+  ?name:string -> unit -> factory
+(** Same queue, instrumented instantiation ([Wfq.Wfqueue_obs]): the
+    probe's event tier is compiled in.  Its throughput delta against
+    {!wf} is the measured cost of instrumentation. *)
+
 val all : factory list
-(** The evaluation set: wf-10, wf-0, wf-llsc (CAS-emulated FAA, the
-    paper's Power7 configuration), lcrq, ccqueue, msqueue, kp
-    (Kogan-Petrank), two-lock, mutex, faa. *)
+(** The evaluation set: wf-10, wf-0, wf-10-obs (instrumented), wf-llsc
+    (CAS-emulated FAA, the paper's Power7 configuration), lcrq,
+    ccqueue, msqueue, kp (Kogan-Petrank), two-lock, mutex, faa. *)
 
 val figure2_set : factory list
 (** The queues plotted in Figure 2 (all of [all] except the extra

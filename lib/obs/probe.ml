@@ -1,0 +1,13 @@
+(* See probe.mli. *)
+
+module type S = sig
+  val enabled : bool
+end
+
+module Disabled = struct
+  let enabled = false
+end
+
+module Enabled = struct
+  let enabled = true
+end

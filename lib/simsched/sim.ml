@@ -79,9 +79,9 @@ module Atomic_shim : Wfq.Atomic_prims.S = struct
   end
 end
 
-module Queue = Wfq.Wfqueue_algo.Make (Atomic_shim)
-module Ms_queue = Baselines.Msqueue_algo.Make (Atomic_shim)
-module Lcrq = Baselines.Lcrq_algo.Make (Atomic_shim)
+module Queue = Wfq.Wfqueue_algo.Make (Atomic_shim) (Obs.Probe.Enabled)
+module Ms_queue = Baselines.Msqueue_algo.Make (Atomic_shim) (Obs.Probe.Enabled)
+module Lcrq = Baselines.Lcrq_algo.Make (Atomic_shim) (Obs.Probe.Enabled)
 
 type stats = { scheduling_decisions : int; max_steps_hit : bool }
 

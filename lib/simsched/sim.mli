@@ -19,13 +19,13 @@
 
 module Atomic_shim : Wfq.Atomic_prims.S
 
-module Queue : module type of Wfq.Wfqueue_algo.Make (Atomic_shim)
+module Queue : module type of Wfq.Wfqueue_algo.Make (Atomic_shim) (Obs.Probe.Enabled)
 
-module Ms_queue : module type of Baselines.Msqueue_algo.Make (Atomic_shim)
+module Ms_queue : module type of Baselines.Msqueue_algo.Make (Atomic_shim) (Obs.Probe.Enabled)
 (** The MS-Queue baseline on the same simulated atomics, for
     differential schedule testing. *)
 
-module Lcrq : module type of Baselines.Lcrq_algo.Make (Atomic_shim)
+module Lcrq : module type of Baselines.Lcrq_algo.Make (Atomic_shim) (Obs.Probe.Enabled)
 (** LCRQ (rings + list) on simulated atomics: the close/fixState
     logic is the subtlest part of any baseline, so it gets schedule
     exploration too. *)

@@ -1,42 +1,6 @@
-type t = {
-  mutable fast_enqueues : int;
-  mutable slow_enqueues : int;
-  mutable fast_dequeues : int;
-  mutable slow_dequeues : int;
-  mutable empty_dequeues : int;
-}
+(* Compatibility alias: the per-handle counters moved to the
+   observability subsystem ([Obs.Counters]) when the event tier and
+   the snapshot/telemetry machinery were added; [Wfq.Op_stats] remains
+   the name the queue API and its callers use for the path tier. *)
 
-let create () =
-  { fast_enqueues = 0; slow_enqueues = 0; fast_dequeues = 0; slow_dequeues = 0; empty_dequeues = 0 }
-
-let reset t =
-  t.fast_enqueues <- 0;
-  t.slow_enqueues <- 0;
-  t.fast_dequeues <- 0;
-  t.slow_dequeues <- 0;
-  t.empty_dequeues <- 0
-
-let add ~into t =
-  into.fast_enqueues <- into.fast_enqueues + t.fast_enqueues;
-  into.slow_enqueues <- into.slow_enqueues + t.slow_enqueues;
-  into.fast_dequeues <- into.fast_dequeues + t.fast_dequeues;
-  into.slow_dequeues <- into.slow_dequeues + t.slow_dequeues;
-  into.empty_dequeues <- into.empty_dequeues + t.empty_dequeues
-
-let absorb ~into t =
-  add ~into t;
-  reset t
-
-let total_enqueues t = t.fast_enqueues + t.slow_enqueues
-let total_dequeues t = t.fast_dequeues + t.slow_dequeues
-
-let pct num den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
-let slow_enqueue_pct t = pct t.slow_enqueues (total_enqueues t)
-let slow_dequeue_pct t = pct t.slow_dequeues (total_dequeues t)
-let empty_dequeue_pct t = pct t.empty_dequeues (total_dequeues t)
-
-let pp ppf t =
-  Format.fprintf ppf
-    "enq: %d fast / %d slow (%.3f%% slow); deq: %d fast / %d slow (%.3f%% slow); empty: %d (%.3f%%)"
-    t.fast_enqueues t.slow_enqueues (slow_enqueue_pct t) t.fast_dequeues t.slow_dequeues
-    (slow_dequeue_pct t) t.empty_dequeues (empty_dequeue_pct t)
+include Obs.Counters

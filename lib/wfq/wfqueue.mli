@@ -111,6 +111,11 @@ val handle_stats : 'a handle -> Op_stats.t
 val reclaimed_segments : 'a t -> int
 (** Segments unlinked by cleanup since creation. *)
 
+val cleanup_runs : 'a t -> int
+(** Cleanup attempts that won the [H'] token and actually unlinked
+    garbage (the paper's Listing 5 body), as opposed to bailing on the
+    [max_garbage] threshold or the token CAS. *)
+
 val allocated_segments : 'a t -> int
 (** Segments allocated fresh (not served from the recycling pool). *)
 
@@ -143,6 +148,18 @@ val live_handles : 'a t -> int
 
 val free_handle_slots : 'a t -> int
 (** Retired slots currently waiting to be recycled by {!register}. *)
+
+val snapshot : 'a t -> Obs.Snapshot.t
+(** One coherent-when-quiescent telemetry snapshot: aggregated op
+    counters (including the retired-handle accumulator), segment and
+    handle gauges, and the queue's patience.  Concurrent readers get a
+    racy-but-safe view — every field is a monotonic counter or a
+    walked-list gauge. *)
+
+val probe_enabled : bool
+(** Whether this instantiation records the event tier of
+    {!Obs.Counters} (CAS failures, cells skipped, helping events).
+    [false] here; [true] in [Wfqueue_obs]. *)
 
 val retire : 'a t -> 'a handle -> unit
 (** Declare the handle's owning thread gone (dead or deregistered):

@@ -1,12 +1,24 @@
-(* The queue algorithm as a functor over its atomic primitives.
+(* The queue algorithm as a functor over its atomic primitives and an
+   observability probe.
 
-   [Wfqueue] instantiates it with hardware atomics; the model-checking
-   harness ([simsched]) instantiates it with simulated atomics whose
-   every access is a preemption point controlled by a test scheduler.
+   [Wfqueue] instantiates it with hardware atomics and the disabled
+   probe; [Wfqueue_obs] is the same algorithm with the event-tier
+   instrumentation compiled in; the model-checking harness ([simsched])
+   instantiates it with simulated atomics whose every access is a
+   preemption point controlled by a test scheduler (and the enabled
+   probe, so the instrumented text is also the model-checked text).
    Keeping the algorithm text in one place means the code that is
-   model-checked is the code that ships. *)
+   model-checked is the code that ships.
 
-module Make (A : Atomic_prims.S) = struct
+   Instrumentation discipline ([P] : Obs.Probe.S): every event-tier
+   record site is [if P.enabled then <plain-int increment>].
+   [P.enabled] is a compile-time constant of the instantiation, so the
+   disabled build keeps the bare hot path (verified by benchmarking
+   wf-10 against wf-10-obs; see DESIGN.md, observability section).
+   The path-tier counters (fast/slow/empty outcomes) predate the probe
+   and stay unconditional. *)
+
+module Make (A : Atomic_prims.S) (P : Obs.Probe.S) = struct
 (* Port of Listings 2-5 of Yang & Mellor-Crummey, "A Wait-free Queue
    as Fast as Fetch-and-Add" (PPoPP 2016).  Comments of the form
    "L.nn" refer to line numbers in the paper's listings.
@@ -109,6 +121,7 @@ type 'a t = {
   seg_mask : int;
   reclamation : bool;
   reclaimed : int A.t;
+  cleanups : int A.t; (* cleanup runs that actually reclaimed *)
   allocated : int A.t; (* segments ever allocated fresh *)
   wasted : int A.t; (* segments that lost the append CAS *)
   recycled : int A.t; (* segments served from the pool *)
@@ -187,6 +200,7 @@ let create ?(patience = 10) ?(segment_shift = 10) ?(max_garbage = 16) ?(reclamat
     seg_mask = (1 lsl segment_shift) - 1;
     reclamation;
     reclaimed = A.make_contended 0;
+    cleanups = A.make_contended 0;
     allocated = A.make_contended 1;
     wasted = A.make_contended 0;
     recycled = A.make_contended 0;
@@ -504,6 +518,7 @@ let enq_fast q h v =
     None
   end
   else begin
+    if P.enabled then h.stats.enq_cas_failures <- h.stats.enq_cas_failures + 1;
     tracef (fun () -> Printf.sprintf "h%d enq_fast: cell %d unusable" h.hid i);
     Some i
   end
@@ -533,7 +548,12 @@ let enq_slow q h v cell_id =
       tracef (fun () -> Printf.sprintf "h%d enq_slow: self-claim at %d -> %b" h.hid i claimed)
       (* invariant: request claimed (even if the claim CAS failed) *)
     end
-    else if Packed.pending (A.get r.enq_state) then acquire ()
+    else if Packed.pending (A.get r.enq_state) then begin
+      (* ticket [i] was consumed but the transfer did not complete
+         there: the cell is abandoned to the dequeuers' help_enq *)
+      if P.enabled then h.stats.cells_skipped <- h.stats.cells_skipped + 1;
+      acquire ()
+    end
   in
   acquire ();
   (* L.86-88: the request is claimed for some cell; find it, commit. *)
@@ -659,6 +679,8 @@ let help_enq q h (s : 'a segment) i =
            the same thread have monotonically larger FAA ids, so [v]
            read above still belongs to it. *)
         let claimed_by_us = try_to_claim_req r.enq_state ~id:(Packed.id s) ~cell_id:i in
+        if P.enabled && claimed_by_us && r != h.enq_req then
+          h.stats.help_enqueues <- h.stats.help_enqueues + 1;
         if claimed_by_us then
           tracef (fun () ->
               Printf.sprintf "h%d help_enq: claimed req (id %d) for cell %d" h.hid (Packed.id s) i);
@@ -707,6 +729,7 @@ let help_deq q h helpee =
   let id = A.get r.deq_id in
   (* L.162: no help needed (not pending, or a stale mixed read) *)
   if Packed.pending !s && Packed.id !s >= id then begin
+    if P.enabled && helpee != h then h.stats.help_dequeues <- h.stats.help_dequeues + 1;
     (* L.163-165: local segment pointer for announced cells; publish
        it as our hazard pointer (validated, see protect_pointer),
        then re-read the request state. *)
@@ -808,6 +831,7 @@ let dequeue_with_hzdp q h =
       h.stats.empty_dequeues <- h.stats.empty_dequeues + 1;
       None
     | Dq_fail cell_id ->
+      if P.enabled then h.stats.deq_cas_failures <- h.stats.deq_cas_failures + 1;
       if p > 0 then attempt (p - 1)
       else begin
         let v = deq_slow q h cell_id in
@@ -941,6 +965,7 @@ let cleanup q h =
       A.set q.q !e;
       release_token (!e).seg_id;
       ignore (A.fetch_and_add q.reclaimed ((!e).seg_id - i));
+      ignore (A.fetch_and_add q.cleanups 1);
       let retired = ref [] in
       let cursor = ref first in
       while !cursor != !e do
@@ -1034,6 +1059,7 @@ let free_handle_slots q =
   go (A.get q.free_handles) 0
 let handle_stats h = h.stats
 let reclaimed_segments q = A.get q.reclaimed
+let cleanup_runs q = A.get q.cleanups
 let allocated_segments q = A.get q.allocated
 let wasted_segments q = A.get q.wasted
 let recycled_segments q = A.get q.recycled
@@ -1046,6 +1072,36 @@ let live_segments q =
   count (A.get q.q) 0
 
 let oldest_segment_id q = A.get q.oldest
+
+let probe_enabled = P.enabled
+
+(* One coherent telemetry view: the merged path/event counters
+   (including departed handles, so recycled slots' history is counted
+   exactly once) plus the segment-churn and ring gauges.  Exact at
+   quiescence; tear-free but racy concurrently, which is what a
+   monitoring scrape wants. *)
+let snapshot q =
+  {
+    Obs.Snapshot.ops = stats q;
+    segments =
+      {
+        Obs.Snapshot.allocated = A.get q.allocated;
+        reclaimed = A.get q.reclaimed;
+        recycled = A.get q.recycled;
+        wasted = A.get q.wasted;
+        pooled = A.get q.pool_size;
+        live = live_segments q;
+        cleanups = A.get q.cleanups;
+      };
+    handles =
+      {
+        Obs.Snapshot.ring = ring_handles q;
+        live = live_handles q;
+        free_slots = free_handle_slots q;
+      };
+    patience = q.patience;
+    probe_enabled = P.enabled;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Whitebox access for deterministic slow-path tests (see .mli)       *)

@@ -271,6 +271,326 @@ let test_figure2_tiny () =
   let lines = String.split_on_char '\n' (String.trim (Harness.Report.to_csv t)) in
   check Alcotest.int "1 header + 1 queue row" 2 (List.length lines)
 
+(* ------------------------------------------------------------------ *)
+(* Json codec                                                         *)
+
+module J = Harness.Json
+
+let roundtrip doc =
+  match J.of_string (J.to_string doc) with
+  | Ok doc' -> doc'
+  | Error e -> Alcotest.fail ("reparse failed: " ^ e)
+
+let test_json_roundtrip_basics () =
+  let doc =
+    J.Obj
+      [
+        ("int", J.Int 42);
+        ("neg", J.Int (-17));
+        ("float", J.Float 1.125);
+        ("whole_float", J.Float 3.0);
+        ("tiny", J.Float 1.5e-9);
+        ("string", J.String "with \"quotes\", back\\slash,\n\ttabs and \x01 control");
+        ("null", J.Null);
+        ("bools", J.List [ J.Bool true; J.Bool false ]);
+        ("empty_list", J.List []);
+        ("empty_obj", J.Obj []);
+        ("nested", J.Obj [ ("xs", J.List [ J.Int 1; J.Obj [ ("y", J.Float 0.5) ] ]) ]);
+      ]
+  in
+  check Alcotest.bool "structural round-trip" true (J.equal doc (roundtrip doc))
+
+let test_json_whole_floats_stay_floats () =
+  (* the regression that motivated the lossless emitter: 3.0 must not
+     come back as Int 3 *)
+  match roundtrip (J.Float 3.0) with
+  | J.Float f -> check (Alcotest.float 0.0) "value" 3.0 f
+  | _ -> Alcotest.fail "Float 3.0 reparsed as a non-float"
+
+let test_json_int_stays_int () =
+  match roundtrip (J.Int 3) with
+  | J.Int 3 -> ()
+  | _ -> Alcotest.fail "Int 3 did not survive"
+
+let test_json_float_precision () =
+  List.iter
+    (fun f ->
+      match roundtrip (J.Float f) with
+      | J.Float f' -> check Alcotest.bool (string_of_float f) true (f = f')
+      | _ -> Alcotest.fail "float became non-float")
+    [ 0.1; 1.0 /. 3.0; Float.pi; 1e300; 5e-324; -0.0; 123456.789012345 ]
+
+let test_json_nonfinite_becomes_null () =
+  check Alcotest.bool "nan -> null" true (J.equal J.Null (roundtrip (J.Float Float.nan)));
+  check Alcotest.bool "inf -> null" true
+    (J.equal J.Null (roundtrip (J.Float Float.infinity)))
+
+let test_json_parses_foreign_syntax () =
+  (* things our emitter never writes but a hand-edited baseline may *)
+  check Alcotest.bool "u-escape" true
+    (J.of_string "\"\\u0041\\u00e9\"" = Ok (J.String "A\xc3\xa9"));
+  check Alcotest.bool "exponent" true
+    (match J.of_string "[1e3, -2.5E-1]" with
+    | Ok (J.List [ J.Float a; J.Float b ]) -> a = 1000.0 && b = -0.25
+    | _ -> false);
+  check Alcotest.bool "compact" true
+    (match J.of_string "{\"a\":1,\"b\":[true,null]}" with
+    | Ok (J.Obj [ ("a", J.Int 1); ("b", J.List [ J.Bool true; J.Null ]) ]) -> true
+    | _ -> false)
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s -> check Alcotest.bool s true (Result.is_error (J.of_string s)))
+    [
+      ""; "{"; "[1,"; "\"unterminated"; "nul"; "1 2"; "{\"a\" 1}"; "{\"a\":}"; "\"bad \\q\"";
+      "[1] trailing";
+    ]
+
+let test_json_member_accessors () =
+  let doc = J.Obj [ ("a", J.Int 1); ("b", J.Float 2.5) ] in
+  check Alcotest.bool "member hit" true (J.member "a" doc = Some (J.Int 1));
+  check Alcotest.bool "member miss" true (J.member "z" doc = None);
+  check Alcotest.bool "to_float of int" true
+    (Option.bind (J.member "a" doc) J.to_float_opt = Some 1.0);
+  check Alcotest.bool "to_float of float" true
+    (Option.bind (J.member "b" doc) J.to_float_opt = Some 2.5);
+  check Alcotest.bool "to_int rejects float" true (J.to_int_opt (J.Float 2.5) = None)
+
+(* Property: emit → parse is the identity on finite documents. *)
+let json_arbitrary =
+  let open QCheck.Gen in
+  let finite_float =
+    map
+      (fun f -> if Float.is_finite f then f else 0.0)
+      (frequency [ (3, float); (1, map float_of_int int) ])
+  in
+  let scalar =
+    frequency
+      [
+        (1, return J.Null);
+        (2, map (fun b -> J.Bool b) bool);
+        (4, map (fun i -> J.Int i) int);
+        (4, map (fun f -> J.Float f) finite_float);
+        (4, map (fun s -> J.String s) (string_size (int_bound 20)));
+      ]
+  in
+  let tree =
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then scalar
+           else
+             frequency
+               [
+                 (2, scalar);
+                 (1, map (fun xs -> J.List xs) (list_size (int_bound 4) (self (n / 2))));
+                 ( 1,
+                   map
+                     (fun kvs -> J.Obj kvs)
+                     (list_size (int_bound 4)
+                        (pair (string_size (int_bound 8)) (self (n / 2)))) );
+               ])
+  in
+  QCheck.make ~print:(fun t -> J.to_string t) tree
+
+let json_roundtrip_prop =
+  QCheck.Test.make ~name:"json roundtrip" ~count:500 json_arbitrary (fun doc ->
+      match J.of_string (J.to_string doc) with Ok doc' -> J.equal doc doc' | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Gate                                                               *)
+
+let fig2_point ~queue ~threads ~mean ~lower ~upper =
+  J.Obj
+    [
+      ("queue", J.String queue);
+      ("threads", J.Int threads);
+      ("mops_mean", J.Float mean);
+      ("mops_lower", J.Float lower);
+      ("mops_upper", J.Float upper);
+    ]
+
+let telemetry_block ~patience ~slow_rate =
+  J.List
+    [
+      J.Obj
+        [
+          ("patience", J.Int patience);
+          ( "run",
+            J.Obj
+              [ ("snapshot", J.Obj [ ("ops", J.Obj [ ("slow_rate", J.Float slow_rate) ]) ]) ]
+          );
+        ];
+    ]
+
+let bench_doc ?telemetry points =
+  J.Obj
+    (("figure2_pairs", J.List points)
+     ::
+     (match telemetry with None -> [] | Some t -> [ ("telemetry", t) ]))
+
+let baseline_doc () =
+  bench_doc
+    [
+      fig2_point ~queue:"wf-10" ~threads:4 ~mean:2.0 ~lower:1.9 ~upper:2.1;
+      fig2_point ~queue:"lcrq" ~threads:4 ~mean:1.5 ~lower:1.4 ~upper:1.6;
+    ]
+
+let run_gate ~baseline ~current =
+  match Harness.Gate.compare_docs ~baseline ~current () with
+  | Ok checks -> checks
+  | Error e -> Alcotest.fail ("gate errored: " ^ e)
+
+let test_gate_passes_on_identical () =
+  let current =
+    bench_doc
+      ~telemetry:(telemetry_block ~patience:10 ~slow_rate:1e-6)
+      [
+        fig2_point ~queue:"wf-10" ~threads:4 ~mean:2.0 ~lower:1.9 ~upper:2.1;
+        fig2_point ~queue:"lcrq" ~threads:4 ~mean:1.5 ~lower:1.4 ~upper:1.6;
+      ]
+  in
+  let checks = run_gate ~baseline:(baseline_doc ()) ~current in
+  check Alcotest.bool "passes" true (Harness.Gate.passed checks);
+  check Alcotest.int "2 throughput + 1 slow-rate checks" 3 (List.length checks)
+
+let test_gate_tolerates_noise () =
+  (* 3 noise bands with a 10% floor on a 2.0 mean allows ~1.4 *)
+  let current =
+    bench_doc
+      ~telemetry:(telemetry_block ~patience:10 ~slow_rate:0.0)
+      [
+        fig2_point ~queue:"wf-10" ~threads:4 ~mean:1.5 ~lower:1.45 ~upper:1.55;
+        fig2_point ~queue:"lcrq" ~threads:4 ~mean:1.2 ~lower:1.1 ~upper:1.3;
+      ]
+  in
+  check Alcotest.bool "within band passes" true
+    (Harness.Gate.passed (run_gate ~baseline:(baseline_doc ()) ~current))
+
+let test_gate_fails_on_injected_regression () =
+  (* wf-10 collapses from 2.0 to 0.5 Mops/s: far outside 3 bands *)
+  let current =
+    bench_doc
+      ~telemetry:(telemetry_block ~patience:10 ~slow_rate:1e-6)
+      [
+        fig2_point ~queue:"wf-10" ~threads:4 ~mean:0.5 ~lower:0.45 ~upper:0.55;
+        fig2_point ~queue:"lcrq" ~threads:4 ~mean:1.5 ~lower:1.4 ~upper:1.6;
+      ]
+  in
+  let checks = run_gate ~baseline:(baseline_doc ()) ~current in
+  check Alcotest.bool "fails" false (Harness.Gate.passed checks);
+  let failed = List.filter (fun c -> not c.Harness.Gate.ok) checks in
+  check Alcotest.int "exactly the wf-10 check fails" 1 (List.length failed);
+  check Alcotest.bool "names the point" true
+    (match failed with [ c ] -> c.Harness.Gate.label = "wf-10 @4T" | _ -> false)
+
+let test_gate_fails_on_missing_queue () =
+  let current =
+    bench_doc
+      ~telemetry:(telemetry_block ~patience:10 ~slow_rate:0.0)
+      [ fig2_point ~queue:"wf-10" ~threads:4 ~mean:2.0 ~lower:1.9 ~upper:2.1 ]
+  in
+  check Alcotest.bool "dropped benchmark fails its gate" false
+    (Harness.Gate.passed (run_gate ~baseline:(baseline_doc ()) ~current))
+
+let test_gate_fails_on_slow_path_rate () =
+  let current =
+    bench_doc
+      ~telemetry:(telemetry_block ~patience:10 ~slow_rate:0.05)
+      [
+        fig2_point ~queue:"wf-10" ~threads:4 ~mean:2.0 ~lower:1.9 ~upper:2.1;
+        fig2_point ~queue:"lcrq" ~threads:4 ~mean:1.5 ~lower:1.4 ~upper:1.6;
+      ]
+  in
+  let checks = run_gate ~baseline:(baseline_doc ()) ~current in
+  check Alcotest.bool "wait-freedom check fails" false (Harness.Gate.passed checks)
+
+let test_gate_fails_without_telemetry () =
+  let current = baseline_doc () in
+  check Alcotest.bool "missing telemetry is a failure, not a pass" false
+    (Harness.Gate.passed (run_gate ~baseline:(baseline_doc ()) ~current))
+
+let test_gate_structural_error () =
+  match Harness.Gate.compare_docs ~baseline:(J.Obj []) ~current:(baseline_doc ()) () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a baseline with no figure2_pairs"
+
+let test_gate_real_bench_doc_roundtrip () =
+  (* the gate must accept its own documents after a disk round-trip *)
+  let path = Filename.temp_file "bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let doc =
+        bench_doc
+          ~telemetry:(telemetry_block ~patience:10 ~slow_rate:1e-6)
+          [ fig2_point ~queue:"wf-10" ~threads:4 ~mean:2.0 ~lower:1.9 ~upper:2.1 ]
+      in
+      J.save doc ~path;
+      match J.load ~path with
+      | Error e -> Alcotest.fail e
+      | Ok doc' ->
+        check Alcotest.bool "disk round-trip" true (J.equal doc doc');
+        check Alcotest.bool "gate passes" true
+          (Harness.Gate.passed (run_gate ~baseline:doc ~current:doc')))
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                          *)
+
+let test_telemetry_run_counts_and_latency () =
+  let f = Harness.Queues.wf_obs ~patience:10 ~segment_shift:6 () in
+  let inst = f.Harness.Queues.make () in
+  let spec = { (WL.scaled WL.Pairs ~total_ops:4_000) with WL.work_ns = None } in
+  let r = Harness.Telemetry.run inst spec ~threads:2 in
+  check Alcotest.int "ops" 4_000 r.Harness.Telemetry.ops;
+  (match r.Harness.Telemetry.snapshot with
+  | None -> Alcotest.fail "wf_obs must produce a snapshot"
+  | Some snap ->
+    check Alcotest.int "snapshot covers every op" 4_000
+      (Obs.Counters.total_ops snap.Obs.Snapshot.ops);
+    check Alcotest.bool "probe on" true snap.Obs.Snapshot.probe_enabled);
+  let total_samples =
+    List.fold_left
+      (fun acc cls ->
+        acc
+        + (Obs.Op_latency.summarize r.Harness.Telemetry.latency cls).Obs.Op_latency.samples)
+      0 Obs.Op_latency.classes
+  in
+  check Alcotest.int "every op timed" 4_000 total_samples
+
+let test_telemetry_stats_table_shape () =
+  let rows =
+    Harness.Telemetry.stats_table ~patiences:[ 0; 10 ] ~total_ops:2_000 ~threads:2 ()
+  in
+  check Alcotest.int "one row per patience" 2 (List.length rows);
+  List.iter
+    (fun (r : Harness.Telemetry.row) ->
+      check Alcotest.int "ops performed" 2_000 r.Harness.Telemetry.result.Harness.Telemetry.ops;
+      match r.Harness.Telemetry.result.Harness.Telemetry.snapshot with
+      | None -> Alcotest.fail "instrumented rows carry snapshots"
+      | Some snap ->
+        check Alcotest.int "row patience matches queue" r.Harness.Telemetry.patience
+          snap.Obs.Snapshot.patience)
+    rows;
+  (* the table and JSON renderings must not raise *)
+  ignore (Format.asprintf "%a" Harness.Telemetry.pp_table rows);
+  let json = Harness.Telemetry.table_to_json rows in
+  match J.of_string (J.to_string json) with
+  | Ok reparsed -> check Alcotest.bool "telemetry json round-trips" true (J.equal json reparsed)
+  | Error e -> Alcotest.fail e
+
+let test_telemetry_json_feeds_gate () =
+  let rows =
+    Harness.Telemetry.stats_table ~patiences:[ 10 ] ~total_ops:2_000 ~threads:2 ()
+  in
+  let doc = J.Obj [ ("telemetry", Harness.Telemetry.table_to_json rows) ] in
+  match Harness.Gate.telemetry_slow_rate ~patience:10 doc with
+  | None -> Alcotest.fail "gate cannot read the telemetry block"
+  | Some rate -> check Alcotest.bool "rate in [0,1]" true (rate >= 0.0 && rate <= 1.0)
+
+let test_wf_obs_in_registry () =
+  check Alcotest.bool "wf-10-obs registered" true
+    (Harness.Queues.find "wf-10-obs" <> None)
+
 let () =
   Alcotest.run "harness"
     [
@@ -319,5 +639,38 @@ let () =
           Alcotest.test_case "table1" `Quick test_table1_shape;
           Alcotest.test_case "table2" `Quick test_table2_shape;
           Alcotest.test_case "figure2 tiny" `Quick test_figure2_tiny;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip basics" `Quick test_json_roundtrip_basics;
+          Alcotest.test_case "whole floats stay floats" `Quick
+            test_json_whole_floats_stay_floats;
+          Alcotest.test_case "ints stay ints" `Quick test_json_int_stays_int;
+          Alcotest.test_case "float precision" `Quick test_json_float_precision;
+          Alcotest.test_case "nonfinite to null" `Quick test_json_nonfinite_becomes_null;
+          Alcotest.test_case "foreign syntax" `Quick test_json_parses_foreign_syntax;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "accessors" `Quick test_json_member_accessors;
+          QCheck_alcotest.to_alcotest json_roundtrip_prop;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "passes on identical" `Quick test_gate_passes_on_identical;
+          Alcotest.test_case "tolerates noise" `Quick test_gate_tolerates_noise;
+          Alcotest.test_case "fails on injected regression" `Quick
+            test_gate_fails_on_injected_regression;
+          Alcotest.test_case "fails on missing queue" `Quick test_gate_fails_on_missing_queue;
+          Alcotest.test_case "fails on slow-path rate" `Quick test_gate_fails_on_slow_path_rate;
+          Alcotest.test_case "fails without telemetry" `Quick test_gate_fails_without_telemetry;
+          Alcotest.test_case "structural error" `Quick test_gate_structural_error;
+          Alcotest.test_case "disk roundtrip" `Quick test_gate_real_bench_doc_roundtrip;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "run counts and latency" `Quick
+            test_telemetry_run_counts_and_latency;
+          Alcotest.test_case "stats table shape" `Quick test_telemetry_stats_table_shape;
+          Alcotest.test_case "json feeds gate" `Quick test_telemetry_json_feeds_gate;
+          Alcotest.test_case "wf-obs registered" `Quick test_wf_obs_in_registry;
         ] );
     ]
