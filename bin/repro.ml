@@ -193,6 +193,133 @@ let stats_cmd =
       $ Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N" ~doc:"Worker domains.")
       $ total_ops_arg $ bench_arg $ patience_list_arg $ json_arg)
 
+(* Live fault-injection storm on the Enabled-injector build: K victim
+   domains park or die mid-protocol at seed-chosen injection points
+   while the rest keep operating.  Wait-freedom means the survivors
+   finish their full budgets regardless; the exit code asserts it. *)
+let inject_cmd =
+  let module Q = Wfq.Wfqueue_inject in
+  let run threads victims seed ops park kill =
+    if threads < 1 then begin
+      prerr_endline "repro inject: need at least one domain";
+      exit 2
+    end;
+    let victims =
+      match victims with
+      | Some k -> max 0 (min k threads)
+      | None -> max 1 (threads / 2)
+    in
+    let q = Q.create () in
+    let plan = Inject.Plan.make ~park ~lethal:kill ~seed:(Int64.of_int seed) () in
+    Inject.reset_stats ();
+    (* a park unit is 1us of wall-clock here: long enough to span many
+       thousands of survivor operations, short enough to sweep points *)
+    Inject.set_park (fun n -> Unix.sleepf (float_of_int n *. 1e-6));
+    let is_victim = Domain.DLS.new_key (fun () -> false) in
+    Inject.install (fun p ->
+        if Domain.DLS.get is_victim then Inject.Plan.decide plan p else Inject.Continue);
+    Printf.printf "Fault-injection storm: %d domains (%d victims), %d enq/deq pairs each\n  plan: %s\n%!"
+      threads victims ops (Inject.Plan.describe plan);
+    let lat = Array.init threads (fun _ -> Obs.Op_latency.create ()) in
+    let pairs_done = Array.make threads 0 in
+    let outcome = Array.make threads "spawn failed" in
+    let killed = Array.make threads false in
+    let worker d () =
+      if d < victims then Domain.DLS.set is_victim true;
+      let h = Q.register q in
+      (* retire on every exit path: a crashed victim's handle must not
+         pin reclamation, and its pending request stays helpable *)
+      Fun.protect ~finally:(fun () -> Q.retire q h) @@ fun () ->
+      try
+        for i = 0 to ops - 1 do
+          let t0 = Primitives.Clock.now_ns () in
+          Q.enqueue q h ((d * ops) + i);
+          let t1 = Primitives.Clock.now_ns () in
+          Obs.Op_latency.record lat.(d) Obs.Op_latency.Enqueue
+            (Int64.to_float (Int64.sub t1 t0));
+          let t2 = Primitives.Clock.now_ns () in
+          let v = Q.dequeue q h in
+          let t3 = Primitives.Clock.now_ns () in
+          Obs.Op_latency.record lat.(d)
+            (match v with
+            | Some _ -> Obs.Op_latency.Dequeue
+            | None -> Obs.Op_latency.Dequeue_empty)
+            (Int64.to_float (Int64.sub t3 t2));
+          pairs_done.(d) <- i + 1
+        done;
+        outcome.(d) <- "completed"
+      with Inject.Killed p ->
+        killed.(d) <- true;
+        outcome.(d) <- "killed @ " ^ Inject.point_name p
+    in
+    let domains = List.init threads (fun d -> Domain.spawn (worker d)) in
+    List.iter Domain.join domains;
+    Inject.remove ();
+    let rec drain n = match Q.pop q with Some _ -> drain (n + 1) | None -> n in
+    let leftovers = drain 0 in
+    let failures = ref 0 in
+    Printf.printf "\n";
+    Array.iteri
+      (fun d n ->
+        let role = if d < victims then "victim" else "survivor" in
+        Printf.printf "  domain %2d  %-8s %-32s %7d/%d pairs\n" d role outcome.(d) n ops;
+        if (not killed.(d)) && n < ops then incr failures)
+      pairs_done;
+    Printf.printf "  %d value(s) left queued after the storm (killed victims may strand <=1 each)\n"
+      leftovers;
+    Format.printf "@.Injected faults:@.%a" Inject.pp_stats ();
+    let merged = Obs.Op_latency.create () in
+    Array.iter (fun l -> Obs.Op_latency.merge_into ~into:merged l) lat;
+    Format.printf "@.Latency tails across all domains (parked victims' stalls included):@.";
+    List.iter
+      (fun cls ->
+        let s = Obs.Op_latency.summarize merged cls in
+        if s.Obs.Op_latency.samples > 0 then
+          Format.printf "  %-13s %9d ops  p50 %7.0fns  p90 %7.0fns  p99 %7.0fns  max %9.0fns@."
+            (Obs.Op_latency.class_name cls)
+            s.samples s.p50_ns s.p90_ns s.p99_ns s.max_ns)
+      Obs.Op_latency.classes;
+    Format.printf "@.Queue snapshot (helping visible under help_enq/help_deq):@.%a@."
+      Obs.Snapshot.pp (Q.snapshot q);
+    if !failures > 0 then begin
+      Printf.printf "\nFAIL: %d unkilled domain(s) did not complete their budget — replay with --seed %d\n"
+        !failures seed;
+      exit 1
+    end
+    else Printf.printf "\nOK: every surviving domain completed its full budget.\n"
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:
+         "Live fault-injection storm: stall (or with --kill, crash) victim domains at \
+          seed-chosen protocol points and verify the survivors' wait-free completion")
+    Term.(
+      const run
+      $ Arg.(value & opt int 8 & info [ "threads" ] ~docv:"N" ~doc:"Storm domains.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "victims" ] ~docv:"K"
+              ~doc:"Domains subject to the fault plan (default: half, at least one).")
+      $ Arg.(
+          value
+          & opt int 42
+          & info [ "seed" ] ~docv:"SEED" ~doc:"Fault-plan seed; a failure replays from it.")
+      $ Arg.(
+          value & opt int 20_000 & info [ "ops" ] ~docv:"N" ~doc:"Enqueue/dequeue pairs per domain.")
+      $ Arg.(
+          value
+          & opt int 200
+          & info [ "park" ] ~docv:"UNITS"
+              ~doc:"Stall length in park units (one unit is 1us in this driver).")
+      $ Arg.(
+          value
+          & flag
+          & info [ "kill" ]
+              ~doc:
+                "Arm Die instead of Park: victims crash mid-protocol; survivors must still \
+                 complete."))
+
 let list_cmd =
   let run () =
     List.iter
@@ -236,6 +363,7 @@ let () =
             ablation_reclaim_cmd;
             latency_cmd;
             stats_cmd;
+            inject_cmd;
             list_cmd;
             all_cmd;
           ]))

@@ -1,0 +1,169 @@
+(** Deterministic fault injection for the queue's protocol paths.
+
+    The paper's headline claim is wait-freedom: every operation
+    completes in a bounded number of its own steps even when other
+    threads stall or die at the worst possible moment (wCQ makes the
+    same adversarial regime the bar, arXiv:2201.02179).  Cooperative
+    tests never exercise that regime — a stall has to land *between*
+    two specific atomic accesses to be adversarial, and hardware
+    preemption lands there once in millions of operations.
+
+    This module names those windows as {e injection points} and lets a
+    harness deliberately stall ([Park]) or kill ([Die]) a victim
+    thread exactly there.  The queue algorithm takes an injector as a
+    compile-time functor argument (exactly like the {!Obs.Probe}): the
+    {!Disabled} instantiation compiles to nothing on the production
+    build (verified by the bench gate against the committed baseline),
+    while {!Enabled} consults a globally installed controller.
+
+    Faults are replayable: {!Plan} derives every decision from a
+    {!Primitives.Splitmix64} seed, so a failing storm reprints as
+    "seed 0x…" and reruns identically (exactly identically under the
+    [simsched] scheduler, which controls the interleaving too).
+
+    Thread-safety: {!install}/{!remove} publish via an atomic;
+    {!Plan.decide} and the per-point counters are safe to call from
+    any number of domains. *)
+
+(** {1 Injection points}
+
+    Each constructor names one adversarial window in
+    [Wfqueue_algo.Make].  The map (DESIGN.md §7):
+
+    - [Enq_fast_after_faa]: a fast-path enqueuer holds a tail ticket
+      but has not yet deposited its value — the cell it abandoned must
+      be poisoned by dequeuers, never waited on.
+    - [Enq_slow_published]: a slow-path enqueue request is visible;
+      helping must complete it even if the owner never runs again.
+    - [Enq_slow_pre_commit]: the request is claimed for a cell but the
+      value is not yet committed.
+    - [Deq_fast_after_faa]: a dequeuer consumed a head ticket but has
+      not yet helped/claimed its cell.
+    - [Deq_slow_published]: a dequeue request is visible; peers must
+      finish it.
+    - [Help_enq_pre_claim]: a helper is about to claim a peer's
+      enqueue request for a cell.
+    - [Help_deq_pre_close]: a helper is about to close a peer's
+      dequeue request.
+    - [Cleanup_token_held]: the cleaner holds the cleanup token
+      ([I = -1]); dying here must not wedge registration or future
+      cleanups.
+    - [Hazard_published]: a hazard pointer is set but not yet
+      re-validated — the window the hazard-pointer acquire protocol
+      defends. *)
+type point =
+  | Enq_fast_after_faa
+  | Enq_slow_published
+  | Enq_slow_pre_commit
+  | Deq_fast_after_faa
+  | Deq_slow_published
+  | Help_enq_pre_claim
+  | Help_deq_pre_close
+  | Cleanup_token_held
+  | Hazard_published
+
+type cls = Enqueue | Dequeue | Helping | Cleanup | Hazard
+
+val all_points : point list
+val class_of : point -> cls
+val point_name : point -> string
+val class_name : cls -> string
+val points_of_class : cls -> point list
+
+(** {1 Actions} *)
+
+type action =
+  | Continue  (** no fault *)
+  | Park of int
+      (** stall for [n] park units before resuming (a unit is one
+          {!set_park} step: a [cpu_relax] by default, one scheduler
+          yield under simsched, a sleep in the storm driver) *)
+  | Die  (** raise {!Killed}, simulating thread death mid-protocol *)
+
+exception Killed of point
+(** Raised out of the faulted operation by [Die].  The victim's handle
+    is left exactly as a crashed thread would leave it (hazard pointer
+    possibly set, request possibly pending); recover with
+    [Wfqueue.retire] once the victim is known dead. *)
+
+(** {1 The functor argument} *)
+
+module type S = sig
+  val enabled : bool
+  (** Compile-time constant of the instantiation; every injection site
+      is [if I.enabled then I.hit P], so the disabled build keeps the
+      bare hot path. *)
+
+  val hit : point -> unit
+end
+
+module Disabled : S
+(** [enabled = false]; [hit] is unreachable dead code. *)
+
+module Enabled : S
+(** Consults the installed controller on every hit; transparent (plain
+    counter-free pass-through) while no controller is installed. *)
+
+(** {1 Controller} *)
+
+val install : (point -> action) -> unit
+(** Install the global fault controller consulted by {!Enabled.hit}.
+    The decision function must be thread-safe.  Replaces any previous
+    controller. *)
+
+val remove : unit -> unit
+(** Remove the controller; subsequent hits are transparent. *)
+
+val with_controller : (point -> action) -> (unit -> 'a) -> 'a
+(** Scoped {!install}/{!remove} (also removes on exception). *)
+
+val set_park : (int -> unit) -> unit
+(** How [Park n] waits.  Default: [n] iterations of
+    [Domain.cpu_relax].  The simsched suites set it to [n] scheduler
+    yields so a parked fiber is descheduled, not busy; the storm
+    driver sets it to a wall-clock sleep. *)
+
+(** {1 Observed-fault counters}
+
+    Incremented only while a controller is installed, so the enabled
+    build without a controller pays one atomic load per hit. *)
+
+type stats = { hits : int; parks : int; kills : int }
+
+val stats : point -> stats
+val total_stats : unit -> stats
+val reset_stats : unit -> unit
+val pp_stats : Format.formatter -> unit -> unit
+(** One line per point that recorded anything. *)
+
+(** {1 Seeded plans} *)
+
+module Plan : sig
+  type t
+  (** A deterministic fault schedule: for each armed point, the plan
+      fires once, at a seed-chosen hit ordinal (so the fault does not
+      always land on the first visit), with a seed-chosen action. *)
+
+  val make :
+    ?park:int ->
+    ?lethal:bool ->
+    ?arm_window:int ->
+    ?points:point list ->
+    seed:int64 ->
+    unit ->
+    t
+  (** [make ~seed ()] arms every injection point with [Park park]
+      (default [park = 200]); [~lethal:true] arms [Die] instead.
+      [arm_window] (default 4) bounds the hit ordinal at which each
+      point fires.  [points] restricts arming (default
+      {!all_points}). *)
+
+  val decide : t -> point -> action
+  (** The controller function: counts the hit against the point's
+      ordinal and returns the armed action exactly once per point.
+      Thread-safe. *)
+
+  val describe : t -> string
+  (** ["seed=0x2a park=200 arming point@ordinal ..."] — print this
+      with any failure so the storm replays. *)
+end

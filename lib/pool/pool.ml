@@ -1,3 +1,14 @@
+(* A fixed-size worker pool over the wait-free run queue.  The
+   admission/shutdown/drain decisions live in [Pool_protocol] (also
+   instantiated on the simsched shim by the test suite); this module
+   adds the OS pieces: futures (Mutex/Condition), worker domains,
+   handle lifecycle, and the fault-isolation guards. *)
+
+module Protocol = Pool_protocol
+
+exception Shutdown
+exception Worker_abort
+
 type 'a state = Pending | Resolved of ('a, exn) result
 
 type 'a future = {
@@ -6,11 +17,40 @@ type 'a future = {
   mutable state : 'a state;
 }
 
+module P =
+  Pool_protocol.Make
+    (Wfq.Atomic_prims.Real)
+    (struct
+      type 'a t = 'a Wfq.Wfqueue.t
+      type 'a handle = 'a Wfq.Wfqueue.handle
+
+      let enqueue = Wfq.Wfqueue.enqueue
+      let dequeue = Wfq.Wfqueue.dequeue
+    end)
+
+type obs = {
+  workers : int;
+  live_workers : int;
+  worker_deaths : int;
+  task_exceptions : int;
+  tasks_completed : int;
+  aborted_futures : int;
+}
+
 type t = {
-  run_queue : (unit -> unit) Wfq.Wfqueue.t;
-  stopping : bool Atomic.t;
-  accepting : bool Atomic.t;
+  proto : P.t;
+  run_queue : P.ticket Wfq.Wfqueue.t;
   mutable workers : unit Domain.t list; (* set once, right after create *)
+  worker_count : int;
+  shutdown_started : bool Atomic.t;
+  shutdown_done : bool Atomic.t;
+  (* Monitoring counters, each on its own cache line so a dying worker
+     and a hot completion path do not false-share. *)
+  live : int Atomic.t;
+  deaths : int Atomic.t;
+  exceptions : int Atomic.t;
+  completed : int Atomic.t;
+  aborted : int Atomic.t;
 }
 
 let resolve future result =
@@ -21,19 +61,43 @@ let resolve future result =
 
 let worker_loop pool () =
   let handle = Wfq.Wfqueue.register pool.run_queue in
+  (* Release the queue handle on every exit path — normal drain-out,
+     deliberate abort, or an escaped exception — so a dead worker
+     never pins segment reclamation.  ([Domain.at_exit] would cover
+     the implicit push/pop handles, but this worker registered
+     explicitly; explicit release also retires at the exit point
+     rather than at domain teardown.) *)
+  Fun.protect ~finally:(fun () ->
+      Wfq.Wfqueue.retire pool.run_queue handle;
+      ignore (Atomic.fetch_and_add pool.live (-1)))
+  @@ fun () ->
+  let step () =
+    (* Fault isolation: a ticket whose [run] lets an exception escape
+       (raw closures; [submit]'s wrapper catches everything else) must
+       not silently shrink the pool.  [Worker_abort] is the one
+       deliberate exception: it kills this worker, visibly
+       ([worker_deaths] in the obs snapshot). *)
+    try
+      match P.worker_step pool.proto handle with
+      | P.Ran | P.Stale -> `Ran
+      | P.Exit -> `Exit
+      | P.Idle -> `Idle
+    with
+    | Worker_abort -> `Died
+    | _exn ->
+      ignore (Atomic.fetch_and_add pool.exceptions 1);
+      `Ran
+  in
   let rec loop idle_spins =
-    match Wfq.Wfqueue.dequeue pool.run_queue handle with
-    | Some task ->
-      task ();
-      loop 0
-    | None ->
-      if Atomic.get pool.stopping then ()
-      else begin
-        (* between spinning and napping: submissions are bursty and
-           the host may be oversubscribed *)
-        if idle_spins < 64 then Domain.cpu_relax () else Unix.sleepf 0.000_2;
-        loop (idle_spins + 1)
-      end
+    match step () with
+    | `Ran -> loop 0
+    | `Exit -> ()
+    | `Died -> ignore (Atomic.fetch_and_add pool.deaths 1)
+    | `Idle ->
+      (* between spinning and napping: submissions are bursty and
+         the host may be oversubscribed *)
+      if idle_spins < 64 then Domain.cpu_relax () else Unix.sleepf 0.000_2;
+      loop (idle_spins + 1)
   in
   loop 0
 
@@ -41,24 +105,49 @@ let create ?workers () =
   let default = max 1 (Domain.recommended_domain_count () - 1) in
   let n = match workers with Some n -> n | None -> default in
   if n < 1 then invalid_arg "Pool.create: need at least one worker";
+  let run_queue = Wfq.Wfqueue.create () in
   let pool =
     {
-      run_queue = Wfq.Wfqueue.create ();
-      stopping = Atomic.make false;
-      accepting = Atomic.make true;
+      proto = P.create run_queue;
+      run_queue;
       workers = [];
+      worker_count = n;
+      shutdown_started = Atomic.make false;
+      shutdown_done = Atomic.make false;
+      live = Primitives.Padding.make_padded_atomic n;
+      deaths = Primitives.Padding.make_padded_atomic 0;
+      exceptions = Primitives.Padding.make_padded_atomic 0;
+      completed = Primitives.Padding.make_padded_atomic 0;
+      aborted = Primitives.Padding.make_padded_atomic 0;
     }
   in
   pool.workers <- List.init n (fun _ -> Domain.spawn (worker_loop pool));
   pool
 
 let submit pool f =
-  if not (Atomic.get pool.accepting) then invalid_arg "Pool.submit: pool is shut down";
   let future = { mutex = Mutex.create (); cond = Condition.create (); state = Pending } in
-  Wfq.Wfqueue.push pool.run_queue (fun () ->
-      let result = try Ok (f ()) with exn -> Error exn in
-      resolve future result);
-  future
+  let run () =
+    (* [Worker_abort] resolves the future, then still kills the worker
+       that ran it — the documented fault-drill channel. *)
+    let result =
+      try Ok (f ())
+      with
+      | Worker_abort ->
+        resolve future (Error Worker_abort);
+        raise Worker_abort
+      | exn -> Error exn
+    in
+    resolve future result;
+    ignore (Atomic.fetch_and_add pool.completed 1)
+  in
+  let abort () =
+    resolve future (Error Shutdown);
+    ignore (Atomic.fetch_and_add pool.aborted 1)
+  in
+  let h = Wfq.Wfqueue.domain_handle pool.run_queue in
+  match P.submit pool.proto h ~run ~abort with
+  | P.Rejected -> invalid_arg "Pool.submit: pool is shut down"
+  | P.Accepted | P.Aborted -> future
 
 let await future =
   Mutex.lock future.mutex;
@@ -83,7 +172,30 @@ let parallel_map pool f xs = List.map (fun x -> submit pool (fun () -> f x)) xs 
 
 let pending pool = Wfq.Wfqueue.approx_length pool.run_queue
 
+let obs pool =
+  {
+    workers = pool.worker_count;
+    live_workers = Atomic.get pool.live;
+    worker_deaths = Atomic.get pool.deaths;
+    task_exceptions = Atomic.get pool.exceptions;
+    tasks_completed = Atomic.get pool.completed;
+    aborted_futures = Atomic.get pool.aborted;
+  }
+
 let shutdown pool =
-  Atomic.set pool.accepting false;
-  Atomic.set pool.stopping true;
-  List.iter Domain.join pool.workers
+  if Atomic.compare_and_set pool.shutdown_started false true then begin
+    P.begin_shutdown pool.proto;
+    List.iter Domain.join pool.workers;
+    (* Residual sweep: claims-and-aborts any ticket that raced the
+       stop (pushed after the last worker's final EMPTY).  Each such
+       ticket's submitter also self-aborts on its re-check; the claim
+       CAS makes the two resolutions exactly-once. *)
+    ignore (P.drain pool.proto (Wfq.Wfqueue.domain_handle pool.run_queue));
+    Atomic.set pool.shutdown_done true
+  end
+  else
+    (* Idempotent, and every caller returns only once the first
+       shutdown finished its join + drain. *)
+    while not (Atomic.get pool.shutdown_done) do
+      Domain.cpu_relax ()
+    done

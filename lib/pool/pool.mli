@@ -7,6 +7,14 @@
     workers are doing; dequeueing workers can never block submitters
     or each other.
 
+    Liveness contract: {e every future returned by [submit] resolves}.
+    Tasks accepted before {!shutdown} are executed; a task whose
+    submission raced the shutdown either executes or resolves with
+    [Error Shutdown] — no interleaving leaves a future pending
+    forever.  The admission/drain protocol enforcing this lives in
+    {!Protocol} and is model-checked under the simsched scheduler by
+    the test suite.
+
     {[
       let pool = Pool.create ~workers:4 () in
       let f = Pool.submit pool (fun () -> heavy 42) in
@@ -20,13 +28,29 @@ type t
 
 type 'a future
 
+exception Shutdown
+(** Resolution of a future whose task was cancelled because the pool
+    stopped before a worker could run it (only possible for
+    submissions racing {!shutdown}). *)
+
+exception Worker_abort
+(** The deliberate worker-death channel for fault drills: a task
+    raising this resolves its future with [Error Worker_abort] and
+    then kills the worker that ran it (counted in {!obs}'s
+    [worker_deaths]; the worker's queue handle is released).  Every
+    other exception a task raises is contained: it resolves the
+    future and the worker lives on. *)
+
 val create : ?workers:int -> unit -> t
 (** Spawn [workers] (default [Domain.recommended_domain_count () - 1],
     at least 1) worker domains consuming the shared run queue. *)
 
 val submit : t -> (unit -> 'a) -> 'a future
 (** Schedule a task; its result (or exception) resolves the future.
-    Raises [Invalid_argument] after {!shutdown}. *)
+    Raises [Invalid_argument] after {!shutdown}.  A submission racing
+    {!shutdown} returns a future that is guaranteed to resolve — with
+    the task's result if a worker got to it, with [Error Shutdown]
+    otherwise. *)
 
 val await : 'a future -> ('a, exn) result
 (** Block until the future resolves.  If called from a worker of the
@@ -42,9 +66,32 @@ val parallel_map : t -> ('a -> 'b) -> 'a list -> ('b, exn) result list
 val pending : t -> int
 (** Tasks submitted but not yet started (approximate). *)
 
+type obs = {
+  workers : int;  (** workers spawned at {!create} *)
+  live_workers : int;  (** workers still running their loop *)
+  worker_deaths : int;  (** workers killed by {!Worker_abort} *)
+  task_exceptions : int;
+      (** exceptions that escaped a ticket into the worker loop (raw
+          closures; {!submit}-wrapped tasks resolve their future
+          instead) *)
+  tasks_completed : int;  (** tickets run to completion by a worker *)
+  aborted_futures : int;  (** futures resolved with [Error Shutdown] *)
+}
+
+val obs : t -> obs
+(** Monitoring counters; racy-but-safe, exact at quiescence. *)
+
 val shutdown : t -> unit
-(** Complete all already-submitted tasks, then stop and join the
-    workers.  Idempotent.  Submitters racing a shutdown may get
-    [Invalid_argument], and a task whose [submit] had not returned
-    when [shutdown] was called may be dropped (its future never
-    resolves) — quiesce submitters first. *)
+(** Stop accepting work, let the workers drain every queued task, join
+    them, then cancel (with [Error Shutdown]) anything that slipped in
+    behind the final drain.  After [shutdown] returns, every future
+    ever returned by {!submit} is resolved.  Idempotent and
+    thread-safe: concurrent callers all block until the first
+    caller's shutdown completes. *)
+
+(** The pool's lock-free admission/shutdown/drain protocol as a
+    functor over the atomic primitives and the run queue, so the test
+    suite can run the exact shipped decision logic on the simsched
+    shim and explore submit-vs-shutdown-vs-worker interleavings
+    deterministically. *)
+module Protocol : module type of Pool_protocol

@@ -114,12 +114,19 @@ module Emulated_faa : S with type 'a t = 'a Atomic.t = struct
      acquisition, so under contention the loop can livelock-crawl
      while the line ping-pongs (the Power7 analogue should degrade
      gracefully, as LL/SC with backoff does).  The backoff state is
-     allocated lazily so the uncontended path stays allocation-free. *)
+     domain-local and reused across calls — allocating a fresh
+     [Backoff.t] per contended FAA put an allocation on exactly the
+     path that runs hottest under contention, and reset its
+     exponential history every call.  [Backoff.reset] on entry keeps
+     calls independent while the cell itself is recycled. *)
+  let domain_backoff = Domain.DLS.new_key (fun () -> Backoff.create ())
+
   let fetch_and_add r n =
     let old = Atomic.get r in
     if Atomic.compare_and_set r old (old + n) then old
     else begin
-      let b = Backoff.create () in
+      let b = Domain.DLS.get domain_backoff in
+      Backoff.reset b;
       let rec retry () =
         Backoff.backoff b;
         let old = Atomic.get r in
@@ -134,12 +141,14 @@ module Emulated_faa : S with type 'a t = 'a Atomic.t = struct
     include Hardware_counters
 
     (* Counter FAA goes through the same CAS-emulation as the scalar
-       [fetch_and_add], so the Power7 analogue is consistent. *)
+       [fetch_and_add], so the Power7 analogue is consistent —
+       including the reused domain-local backoff. *)
     let fetch_and_add t i n =
       let old = get t i in
       if compare_and_set t i old (old + n) then old
       else begin
-        let b = Backoff.create () in
+        let b = Domain.DLS.get domain_backoff in
+        Backoff.reset b;
         let rec retry () =
           Backoff.backoff b;
           let old = get t i in

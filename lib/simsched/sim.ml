@@ -7,6 +7,13 @@ let now () = !clock
    code can run queue operations outside [run]. *)
 let yield () = try Effect.perform Yield with Effect.Unhandled _ -> ()
 
+(* Index of the fiber currently scheduled by [exec], -1 outside a run.
+   Exposed so fault-injection controllers can target "fiber k is the
+   victim" — the injector's decision function runs inside the victim's
+   own steps, where this is exact. *)
+let running = ref (-1)
+let current_fiber () = !running
+
 module Atomic_shim : Wfq.Atomic_prims.S = struct
   (* Single-domain cells: the scheduler interleaves fibers only at
      yields, so plain mutation between yields is atomic by
@@ -79,7 +86,7 @@ module Atomic_shim : Wfq.Atomic_prims.S = struct
   end
 end
 
-module Queue = Wfq.Wfqueue_algo.Make (Atomic_shim) (Obs.Probe.Enabled)
+module Queue = Wfq.Wfqueue_algo.Make (Atomic_shim) (Obs.Probe.Enabled) (Inject.Enabled)
 module Ms_queue = Baselines.Msqueue_algo.Make (Atomic_shim) (Obs.Probe.Enabled)
 module Lcrq = Baselines.Lcrq_algo.Make (Atomic_shim) (Obs.Probe.Enabled)
 
@@ -128,6 +135,9 @@ let exec ~max_steps ~(pick : last:int option -> candidates:int list -> int) fibe
   in
   let last = ref None in
   let truncated = ref false in
+  (* reset [running] even when a fiber's exception aborts the run *)
+  Fun.protect ~finally:(fun () -> running := -1)
+  @@ fun () ->
   while !live > 0 && not !truncated do
     if !steps >= max_steps then truncated := true
     else begin
@@ -136,6 +146,7 @@ let exec ~max_steps ~(pick : last:int option -> candidates:int list -> int) fibe
       let i = pick ~last:!last ~candidates:(candidates ()) in
       last := Some i;
       current := i;
+      running := i;
       match states.(i) with
       | Ready f ->
         (* if it yields, the handler stores the continuation; if it

@@ -19,7 +19,7 @@
 
 module Atomic_shim : Wfq.Atomic_prims.S
 
-module Queue : module type of Wfq.Wfqueue_algo.Make (Atomic_shim) (Obs.Probe.Enabled)
+module Queue : module type of Wfq.Wfqueue_algo.Make (Atomic_shim) (Obs.Probe.Enabled) (Inject.Enabled)
 
 module Ms_queue : module type of Baselines.Msqueue_algo.Make (Atomic_shim) (Obs.Probe.Enabled)
 (** The MS-Queue baseline on the same simulated atomics, for
@@ -49,6 +49,18 @@ val run : ?seed:int64 -> ?max_steps:int -> (unit -> unit) array -> stats
 val now : unit -> int
 (** The current scheduling step, usable as a logical timestamp from
     inside fibers (monotone within one run; reset to 0 by {!run}). *)
+
+val yield : unit -> unit
+(** One scheduler preemption point; no-op outside {!run}.  Lets code
+    that is not built on {!Atomic_shim} (e.g. an [Inject.set_park]
+    implementation, so a parked fiber is descheduled rather than
+    busy) participate in the simulated schedule. *)
+
+val current_fiber : unit -> int
+(** Index (into {!run}'s fiber array) of the fiber currently
+    scheduled; [-1] outside a run.  Exact when called from a fiber's
+    own steps — which is where fault-injection controllers run — so a
+    plan can say "fiber [k] is the victim". *)
 
 type exploration = {
   schedules : int;

@@ -2,4 +2,4 @@
    hardware atomics.  See wfqueue.mli for the API and the paper
    mapping; see DESIGN.md for the port notes. *)
 
-include Wfqueue_algo.Make (Atomic_prims.Real) (Obs.Probe.Disabled)
+include Wfqueue_algo.Make (Atomic_prims.Real) (Obs.Probe.Disabled) (Inject.Disabled)

@@ -88,6 +88,12 @@ val pop : 'a t -> 'a option
 (** {!dequeue} with a per-domain handle managed internally; same
     lifecycle as {!push}. *)
 
+val domain_handle : 'a t -> 'a handle
+(** The calling domain's cached handle (the one {!push}/{!pop} use),
+    registering one on first use — same lifecycle as {!push}.  For
+    callers that mix the implicit API with operations needing an
+    explicit handle (e.g. the pool's admission protocol). *)
+
 val approx_length : 'a t -> int
 (** Tail index minus head index, clamped to 0: counts enqueued values
     not yet claimed by dequeuers.  Exact when quiescent. *)
@@ -160,6 +166,11 @@ val probe_enabled : bool
 (** Whether this instantiation records the event tier of
     {!Obs.Counters} (CAS failures, cells skipped, helping events).
     [false] here; [true] in [Wfqueue_obs]. *)
+
+val injector_enabled : bool
+(** Whether this instantiation compiles in the {!Inject} fault-
+    injection points.  [false] here (the production build pays
+    nothing); [true] in [Wfqueue_inject]. *)
 
 val retire : 'a t -> 'a handle -> unit
 (** Declare the handle's owning thread gone (dead or deregistered):

@@ -1,12 +1,14 @@
-(* The queue algorithm as a functor over its atomic primitives and an
-   observability probe.
+(* The queue algorithm as a functor over its atomic primitives, an
+   observability probe, and a fault injector.
 
-   [Wfqueue] instantiates it with hardware atomics and the disabled
-   probe; [Wfqueue_obs] is the same algorithm with the event-tier
-   instrumentation compiled in; the model-checking harness ([simsched])
-   instantiates it with simulated atomics whose every access is a
-   preemption point controlled by a test scheduler (and the enabled
-   probe, so the instrumented text is also the model-checked text).
+   [Wfqueue] instantiates it with hardware atomics, the disabled probe
+   and the disabled injector; [Wfqueue_obs] is the same algorithm with
+   the event-tier instrumentation compiled in; [Wfqueue_inject] adds
+   the fault injector for adversarial-schedule storms; the
+   model-checking harness ([simsched]) instantiates it with simulated
+   atomics whose every access is a preemption point controlled by a
+   test scheduler (and the enabled probe and injector, so the
+   instrumented, injectable text is also the model-checked text).
    Keeping the algorithm text in one place means the code that is
    model-checked is the code that ships.
 
@@ -16,9 +18,16 @@
    disabled build keeps the bare hot path (verified by benchmarking
    wf-10 against wf-10-obs; see DESIGN.md, observability section).
    The path-tier counters (fast/slow/empty outcomes) predate the probe
-   and stay unconditional. *)
+   and stay unconditional.
 
-module Make (A : Atomic_prims.S) (P : Obs.Probe.S) = struct
+   Injection discipline ([I] : Inject.S): every adversarial window is
+   [if I.enabled then I.hit <point>] — same compile-time-constant
+   gating, same bench-gate verification that the disabled build pays
+   nothing.  A hit may return (no fault or a finished stall) or raise
+   [Inject.Killed] (simulated thread death); the point map and the
+   recovery story are in DESIGN.md §7. *)
+
+module Make (A : Atomic_prims.S) (P : Obs.Probe.S) (I : Inject.S) = struct
 (* Port of Listings 2-5 of Yang & Mellor-Crummey, "A Wait-free Queue
    as Fast as Fetch-and-Add" (PPoPP 2016).  Comments of the form
    "L.nn" refer to line numbers in the paper's listings.
@@ -482,6 +491,9 @@ let find_cell ?(who = "?") q (sp : 'a segment ref) cell_id =
 let rec protect_pointer h (src : 'a segment A.t) =
   let s = A.get src in
   A.set h.hzdp s;
+  (* the window the re-validation defends: the hazard pointer is
+     published but not yet known valid *)
+  if I.enabled then I.hit Inject.Hazard_published;
   if A.get src == s then s else protect_pointer h src
 
 (* L.53-55: ensure the head or tail index is at or beyond [cid]. *)
@@ -507,6 +519,9 @@ let enq_commit q cv v cid =
    becomes the slow-path request id. *)
 let enq_fast q h v =
   let i = A.fetch_and_add q.tail_index 1 in
+  (* ticket [i] is consumed but nothing is deposited yet: a stall here
+     forces dequeuers to poison the cell; a death abandons it *)
+  if I.enabled then I.hit Inject.Enq_fast_after_faa;
   let sp = ref (A.get h.tail) in
   tracef (fun () ->
       Printf.sprintf "h%d enq_fast: ticket %d, tail seg=%d uid=%d hzdp seg=%d" h.hid i (!sp).seg_id
@@ -530,6 +545,9 @@ let enq_slow q h v cell_id =
   tracef (fun () -> Printf.sprintf "h%d enq_slow: publish id=%d" h.hid cell_id);
   A.set r.enq_value (Some v);
   A.set r.enq_state (Packed.make ~pending:true ~id:cell_id);
+  (* the request is visible: from here the paper guarantees helpers
+     complete it even if this thread never runs another step *)
+  if I.enabled then I.hit Inject.Enq_slow_published;
   (* L.73-75: traverse with a local tail pointer because the claimed
      cell may be earlier than the last cell visited here. *)
   let tmp_tail = ref (A.get h.tail) in
@@ -568,6 +586,10 @@ let enq_slow q h v cell_id =
          "enq_slow: claimed cell %d (seg %d) reclaimed; req=%d hzdp=%d oldest=%d T=%d" id
          (id lsr q.seg_shift) cell_id (A.get h.hzdp).seg_id (A.get q.oldest)
          (A.get q.tail_index));
+  (* claimed but not yet committed: a death here loses the value (the
+     enqueue never returned), a stall forces the claimed cell's
+     dequeuer onto its own slow path *)
+  if I.enabled then I.hit Inject.Enq_slow_pre_commit;
   let sp = ref (A.get h.tail) in
   let s = find_cell ~who:"enq_slow_commit" q sp id in
   A.set h.tail s;
@@ -678,6 +700,9 @@ let help_enq q h (s : 'a segment) i =
            request claimed for this cell, because later requests by
            the same thread have monotonically larger FAA ids, so [v]
            read above still belongs to it. *)
+        (* a helper poised on the claim CAS: dying here must leave the
+           request completable by the owner or any other helper *)
+        if I.enabled then I.hit Inject.Help_enq_pre_claim;
         let claimed_by_us = try_to_claim_req r.enq_state ~id:(Packed.id s) ~cell_id:i in
         if P.enabled && claimed_by_us && r != h.enq_req then
           h.stats.help_enqueues <- h.stats.help_enqueues + 1;
@@ -708,6 +733,10 @@ type 'a deq_fast_result = Dq_value of 'a | Dq_empty | Dq_fail of int
 (* L.140-148 *)
 let deq_fast q h =
   let i = A.fetch_and_add q.head_index 1 in
+  (* head ticket consumed, cell not yet helped/claimed: a death here
+     can strand the value at cell [i] (linearized as dequeue-then-
+     crash), which is exactly what a crashed consumer does *)
+  if I.enabled then I.hit Inject.Deq_fast_after_faa;
   let sp = ref (A.get h.head) in
   let s = find_cell ~who:"deq_fast" q sp i in
   A.set h.head s;
@@ -780,6 +809,9 @@ let help_deq q h helpee =
              | Deq_bottom | Deq_top -> false)
         in
         if satisfied then begin
+          (* about to close the helpee's request: a stalled/dying
+             helper must not block other helpers from closing it *)
+          if I.enabled then I.hit Inject.Help_deq_pre_close;
           let closed =
             A.compare_and_set r.deq_state !s (Packed.make ~pending:false ~id:(Packed.id !s))
           in
@@ -807,6 +839,9 @@ let deq_slow q h cell_id =
   tracef (fun () -> Printf.sprintf "h%d deq_slow: publish id=%d" h.hid cell_id);
   A.set r.deq_id cell_id;
   A.set r.deq_state (Packed.make ~pending:true ~id:cell_id);
+  (* the dequeue request is visible: peers' helping rotation must
+     finish it if this thread stalls or dies before self-helping *)
+  if I.enabled then I.hit Inject.Deq_slow_published;
   help_deq q h h;
   let i = Packed.id (A.get r.deq_state) in
   let sp = ref (A.get h.head) in
@@ -899,6 +934,10 @@ let cleanup q h =
     in
     Fun.protect ~finally:(fun () -> if not !token_released then A.set q.oldest i)
     @@ fun () ->
+    (* token held ([oldest = -1]): a stall blocks registration and
+       other cleanups (they spin on the token) but no operation; a
+       death must restore the token via the protector above *)
+    if I.enabled then I.hit Inject.Cleanup_token_held;
     (* walk from the oldest segment to the bound if the cleaner's own
        head is beyond it (T and H only grow, so this is conservative) *)
     if (!e).seg_id > bound then begin
@@ -1074,6 +1113,7 @@ let live_segments q =
 let oldest_segment_id q = A.get q.oldest
 
 let probe_enabled = P.enabled
+let injector_enabled = I.enabled
 
 (* One coherent telemetry view: the merged path/event counters
    (including departed handles, so recycled slots' history is counted

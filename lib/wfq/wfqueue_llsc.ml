@@ -5,4 +5,4 @@
    throughput relative to [Wfqueue] quantifies what native FAA
    buys — the "faa-emulation" ablation in the benchmarks. *)
 
-include Wfqueue_algo.Make (Atomic_prims.Emulated_faa) (Obs.Probe.Disabled)
+include Wfqueue_algo.Make (Atomic_prims.Emulated_faa) (Obs.Probe.Disabled) (Inject.Disabled)

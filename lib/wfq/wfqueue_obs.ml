@@ -12,4 +12,4 @@
    price of the instrumentation (the disabled build pays none of
    it). *)
 
-include Wfqueue_algo.Make (Atomic_prims.Real) (Obs.Probe.Enabled)
+include Wfqueue_algo.Make (Atomic_prims.Real) (Obs.Probe.Enabled) (Inject.Disabled)

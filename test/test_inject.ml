@@ -1,0 +1,467 @@
+(* Wait-freedom under injected faults.
+
+   The paper's claim is not "fast when everyone cooperates" but
+   "bounded completion even when other threads stall or die at the
+   worst moment" (§3.6 discusses thread failures explicitly).  These
+   tests drive the queue through exactly those moments: the simsched
+   scheduler interleaves fibers deterministically while an
+   [Inject.Plan] parks or kills victim fibers at named protocol
+   points, so every failure is a (sim seed, plan seed) pair that
+   replays identically.
+
+   Fault semantics verified here:
+   - Park: a stalled thread delays nobody's completion; values are
+     conserved exactly.
+   - Die: a killed thread is a crashed thread.  Its in-flight value
+     appears AT MOST ONCE (helpers may complete a published request
+     of a dead peer; the claim CASes make double-completion
+     impossible), and each kill strands at most one value (a dequeuer
+     that linearized its ticket and then crashed).  Survivors always
+     complete, and the queue stays fully operational afterwards —
+     including cleanup, even when the victim died holding the cleanup
+     token. *)
+
+module Q = Simsched.Sim.Queue
+module Sim = Simsched.Sim
+
+let check = Alcotest.check
+
+let run_ok ?max_steps ~seed fibers =
+  let stats = Sim.run ?max_steps ~seed:(Int64.of_int seed) fibers in
+  if stats.Sim.max_steps_hit then
+    Alcotest.failf "seed %d: scheduler step limit hit (livelock under faults?)" seed;
+  stats
+
+(* Park as scheduler yields: a parked fiber is descheduled, letting
+   the scheduler run everyone else through the victim's stall
+   window. *)
+let sim_park () = Inject.set_park (fun n -> for _ = 1 to n do Sim.yield () done)
+
+let drain q h =
+  let rec go acc = match Q.dequeue q h with Some v -> go (v :: acc) | None -> acc in
+  List.rev (go [])
+
+(* ------------------------------------------------------------------ *)
+(* Build matrix: which instantiations carry the injector              *)
+
+let test_build_matrix () =
+  check Alcotest.bool "production build has no injector" false Wfq.Wfqueue.injector_enabled;
+  check Alcotest.bool "obs build has no injector" false Wfq.Wfqueue_obs.injector_enabled;
+  check Alcotest.bool "llsc build has no injector" false Wfq.Wfqueue_llsc.injector_enabled;
+  check Alcotest.bool "storm build has the injector" true Wfq.Wfqueue_inject.injector_enabled;
+  check Alcotest.bool "sim build has the injector" true Q.injector_enabled;
+  (* A Disabled build never consults the controller: run it under an
+     installed always-park controller and observe zero hits. *)
+  Inject.reset_stats ();
+  Inject.with_controller (fun _ -> Inject.Park 1) (fun () ->
+      let q = Wfq.Wfqueue.create () in
+      for i = 1 to 50 do
+        Wfq.Wfqueue.push q i
+      done;
+      for _ = 1 to 50 do
+        ignore (Wfq.Wfqueue.pop q)
+      done);
+  let t = Inject.total_stats () in
+  check Alcotest.int "disabled build recorded no hits" 0 t.Inject.hits
+
+let test_enabled_transparent () =
+  (* No controller installed: the Enabled build passes through. *)
+  Inject.reset_stats ();
+  let q = Wfq.Wfqueue_inject.create () in
+  for i = 1 to 100 do
+    Wfq.Wfqueue_inject.push q i
+  done;
+  let got = ref [] in
+  let rec go () =
+    match Wfq.Wfqueue_inject.pop q with
+    | Some v ->
+      got := v :: !got;
+      go ()
+    | None -> ()
+  in
+  go ();
+  check Alcotest.int "fifo intact" 100 (List.length !got);
+  let t = Inject.total_stats () in
+  check Alcotest.int "no controller, no counting" 0 t.Inject.hits
+
+(* ------------------------------------------------------------------ *)
+(* K-of-N park storms, one sweep per injection-point class            *)
+
+let aggressive_queue () =
+  (* patience 0: first contention enters the slow path; tiny segments
+     + max_garbage 2: cleanup runs constantly.  Every point class is
+     reachable. *)
+  Q.create ~patience:0 ~segment_shift:1 ~max_garbage:2 ()
+
+let test_park_storm cls () =
+  sim_park ();
+  Inject.reset_stats ();
+  let points = Inject.points_of_class cls in
+  for seed = 1 to 150 do
+    let plan =
+      Inject.Plan.make ~park:6 ~arm_window:1 ~points ~seed:(Int64.of_int (seed * 7919)) ()
+    in
+    (* 2 victims of 4: only fibers 0 and 1 take faults *)
+    Inject.with_controller
+      (fun p -> if Sim.current_fiber () <= 1 then Inject.Plan.decide plan p else Inject.Continue)
+      (fun () ->
+        let q = aggressive_queue () in
+        let h = Array.init 4 (fun _ -> Q.register q) in
+        let got = ref [] in
+        (* interleaved enqueue/dequeue churn: phase-structured
+           workloads never contend (each fiber finishes its enqueues
+           before any dequeuer can overtake a ticket), so slow paths,
+           helping and cleanup would go unexercised *)
+        let actor i () =
+          for k = 1 to 4 do
+            Q.enqueue q h.(i) ((i * 10) + k);
+            match Q.dequeue q h.(i) with Some v -> got := v :: !got | None -> ()
+          done
+        in
+        ignore (run_ok ~seed [| actor 0; actor 1; actor 2; actor 3 |]);
+        let rest = drain q h.(0) in
+        let expect =
+          List.concat_map (fun i -> List.init 4 (fun k -> (i * 10) + k + 1)) [ 0; 1; 2; 3 ]
+        in
+        check
+          Alcotest.(list int)
+          (Printf.sprintf "%s seed %d: parked storm conserves values" (Inject.class_name cls) seed)
+          (List.sort compare expect)
+          (List.sort compare (!got @ rest)))
+  done;
+  (* The sweep must actually have exercised the class — a class whose
+     points never fire would make this suite vacuous (e.g. after a
+     refactor moves an injection site). *)
+  let fired =
+    List.fold_left (fun acc p -> acc + (Inject.stats p).Inject.parks) 0 points
+  in
+  if fired = 0 then
+    Alcotest.failf "no %s park ever fired across the sweep: dead injection points?"
+      (Inject.class_name cls)
+
+(* ------------------------------------------------------------------ *)
+(* Die storms: crashed threads strand at most one value, never
+   duplicate one, and survivors always finish                        *)
+
+let test_kill_storm () =
+  sim_park ();
+  let total_kills = ref 0 in
+  for seed = 1 to 400 do
+    Inject.reset_stats ();
+    let plan = Inject.Plan.make ~lethal:true ~arm_window:2 ~seed:(Int64.of_int (seed * 31)) () in
+    Inject.with_controller
+      (fun p -> if Sim.current_fiber () = 0 then Inject.Plan.decide plan p else Inject.Continue)
+      (fun () ->
+        let q = aggressive_queue () in
+        let h = Array.init 4 (fun _ -> Q.register q) in
+        let got = ref [] in
+        (* [venq] counts the victim's COMPLETED enqueues: a crash ends
+           its participation, so values it never attempted are not
+           "lost" — only its single in-flight value is in doubt *)
+        let venq = ref 0 in
+        let victim () =
+          try
+            for k = 1 to 4 do
+              Q.enqueue q h.(0) k;
+              venq := k;
+              match Q.dequeue q h.(0) with Some v -> got := v :: !got | None -> ()
+            done
+          with Inject.Killed _ -> Q.retire q h.(0)
+        in
+        let survivor i () =
+          for k = 1 to 4 do
+            Q.enqueue q h.(i) ((i * 10) + k);
+            match Q.dequeue q h.(i) with Some v -> got := v :: !got | None -> ()
+          done
+        in
+        ignore (run_ok ~seed [| victim; survivor 1; survivor 2; survivor 3 |]);
+        let all = !got @ drain q h.(1) in
+        let kills = (Inject.total_stats ()).Inject.kills in
+        total_kills := !total_kills + kills;
+        (* definitely enqueued: survivors' values + the victim's
+           completed enqueues.  The victim's next value (its in-flight
+           enqueue, if the kill landed there) may legitimately appear
+           — helpers can complete a dead peer's published request —
+           but at most once. *)
+        let definite =
+          List.init !venq (fun k -> k + 1)
+          @ List.concat_map (fun i -> List.init 4 (fun k -> (i * 10) + k + 1)) [ 1; 2; 3 ]
+        in
+        let optional = if !venq < 4 then [ !venq + 1 ] else [] in
+        let sorted = List.sort compare all in
+        let rec no_dup = function
+          | a :: (b :: _ as tl) ->
+            if a = b then Alcotest.failf "seed %d: value %d dequeued twice" seed a;
+            no_dup tl
+          | _ -> ()
+        in
+        no_dup sorted;
+        List.iter
+          (fun v ->
+            if not (List.mem v definite || List.mem v optional) then
+              Alcotest.failf "seed %d: alien value %d" seed v)
+          sorted;
+        let missing =
+          List.length (List.filter (fun v -> not (List.mem v sorted)) definite)
+        in
+        if missing > kills then
+          Alcotest.failf "seed %d: %d values missing but only %d kills (each kill strands <= 1)"
+            seed missing kills)
+  done;
+  if !total_kills = 0 then
+    Alcotest.fail "no kill ever fired across 400 seeds: lethal plans are dead code?"
+
+(* A dead slow-path enqueuer's published request is completed by
+   helpers: the value it announced still flows to a dequeuer. *)
+let test_helping_completes_dead_enqueuer () =
+  sim_park ();
+  let recovered = ref 0 in
+  for seed = 1 to 300 do
+    Inject.reset_stats ();
+    let plan =
+      Inject.Plan.make ~lethal:true ~arm_window:1 ~points:[ Inject.Enq_slow_published ]
+        ~seed:(Int64.of_int seed) ()
+    in
+    Inject.with_controller
+      (fun p -> if Sim.current_fiber () = 0 then Inject.Plan.decide plan p else Inject.Continue)
+      (fun () ->
+        let q = Q.create ~patience:0 ~segment_shift:1 ~max_garbage:2 () in
+        let h = Array.init 3 (fun _ -> Q.register q) in
+        let got = ref [] in
+        (* churn on all fibers so the victim's fast-path CAS actually
+           loses cells and enters the slow path; the kill lands right
+           after its request is published *)
+        let churn i base () =
+          try
+            for k = 1 to 6 do
+              Q.enqueue q h.(i) (base + k);
+              match Q.dequeue q h.(i) with Some v -> got := v :: !got | None -> ()
+            done
+          with Inject.Killed _ -> ()
+        in
+        ignore (run_ok ~seed [| churn 0 100; churn 1 10; churn 2 20 |]);
+        (* victim is dead; its handle must not pin anything *)
+        Q.retire q h.(0);
+        let all = List.sort compare (!got @ drain q h.(1)) in
+        (* survivors die with nobody: all their values flow through *)
+        List.iter
+          (fun v ->
+            if not (List.mem v all) then
+              Alcotest.failf "seed %d: survivor value %d lost to a dead enqueuer" seed v)
+          (List.init 6 (fun k -> 10 + k + 1) @ List.init 6 (fun k -> 20 + k + 1));
+        (* the dead enqueuer's values appear at most once each *)
+        let rec dups = function
+          | a :: (b :: _ as tl) ->
+            if a = b then Alcotest.failf "seed %d: duplicated %d" seed a;
+            dups tl
+          | _ -> ()
+        in
+        dups all;
+        let kills = (Inject.total_stats ()).Inject.kills in
+        if kills > 0 && List.exists (fun v -> v > 100) all then incr recovered)
+  done;
+  (* helping is the mechanism under test: across the sweep, some dead
+     enqueuer's published value must have been completed by a peer *)
+  if !recovered = 0 then
+    Alcotest.fail "no published request of a dead enqueuer was ever helped to completion"
+
+let test_dead_dequeuer_strands_at_most_one () =
+  sim_park ();
+  for seed = 1 to 300 do
+    Inject.reset_stats ();
+    let plan =
+      Inject.Plan.make ~lethal:true ~arm_window:1
+        ~points:[ Inject.Deq_fast_after_faa; Inject.Deq_slow_published ]
+        ~seed:(Int64.of_int seed) ()
+    in
+    Inject.with_controller
+      (fun p -> if Sim.current_fiber () = 0 then Inject.Plan.decide plan p else Inject.Continue)
+      (fun () ->
+        let q = Q.create ~patience:0 ~segment_shift:1 ~max_garbage:2 () in
+        let h = Array.init 3 (fun _ -> Q.register q) in
+        let got = ref [] in
+        let victim () =
+          try
+            for _ = 1 to 4 do
+              match Q.dequeue q h.(0) with Some v -> got := v :: !got | None -> ()
+            done
+          with Inject.Killed _ -> Q.retire q h.(0)
+        in
+        let producer () =
+          for k = 1 to 8 do
+            Q.enqueue q h.(1) k
+          done
+        in
+        let consumer () =
+          for _ = 1 to 4 do
+            match Q.dequeue q h.(2) with Some v -> got := v :: !got | None -> ()
+          done
+        in
+        ignore (run_ok ~seed [| victim; producer; consumer |]);
+        let all = List.sort compare (!got @ drain q h.(1)) in
+        let kills = (Inject.total_stats ()).Inject.kills in
+        let missing = 8 - List.length all in
+        if missing > kills then
+          Alcotest.failf "seed %d: %d values missing, %d kills" seed missing kills;
+        let rec dups = function
+          | a :: (b :: _ as tl) ->
+            if a = b then Alcotest.failf "seed %d: duplicated %d" seed a;
+            dups tl
+          | _ -> ()
+        in
+        dups all)
+  done
+
+(* Dying while holding the cleanup token must not wedge reclamation:
+   the token is restored on the way out (Fun.protect in [cleanup]),
+   so later cleanups still run. *)
+let test_cleanup_token_death_recovers () =
+  sim_park ();
+  let exercised = ref 0 in
+  for seed = 1 to 200 do
+    Inject.reset_stats ();
+    let plan =
+      Inject.Plan.make ~lethal:true ~arm_window:1 ~points:[ Inject.Cleanup_token_held ]
+        ~seed:(Int64.of_int seed) ()
+    in
+    let q = Q.create ~patience:0 ~segment_shift:1 ~max_garbage:2 () in
+    let h = Array.init 3 (fun _ -> Q.register q) in
+    Inject.with_controller
+      (fun p -> if Sim.current_fiber () = 0 then Inject.Plan.decide plan p else Inject.Continue)
+      (fun () ->
+        let churn i () =
+          try
+            for k = 1 to 8 do
+              Q.enqueue q h.(i) ((i * 100) + k);
+              ignore (Q.dequeue q h.(i))
+            done
+          with Inject.Killed _ -> Q.retire q h.(0)
+        in
+        ignore (run_ok ~seed [| churn 0; churn 1; churn 2 |]));
+    if (Inject.total_stats ()).Inject.kills > 0 then begin
+      incr exercised;
+      (* the token was restored: post-mortem churn still reclaims *)
+      let before = Q.reclaimed_segments q in
+      for k = 1 to 64 do
+        Q.enqueue q h.(1) k;
+        ignore (Q.dequeue q h.(1))
+      done;
+      if Q.reclaimed_segments q <= before then
+        Alcotest.failf "seed %d: cleanup wedged after token-holder death" seed
+    end
+  done;
+  if !exercised = 0 then Alcotest.fail "no cleanup-token death was ever injected"
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: one (sim seed, plan seed) pair is one storm           *)
+
+let storm_trace ~sim_seed ~plan_seed =
+  sim_park ();
+  Inject.reset_stats ();
+  let plan = Inject.Plan.make ~park:6 ~arm_window:2 ~seed:(Int64.of_int plan_seed) () in
+  let trace = ref [] in
+  Inject.with_controller
+    (fun p -> if Sim.current_fiber () <= 1 then Inject.Plan.decide plan p else Inject.Continue)
+    (fun () ->
+      let q = aggressive_queue () in
+      let h = Array.init 4 (fun _ -> Q.register q) in
+      let actor i () =
+        for k = 1 to 4 do
+          Q.enqueue q h.(i) ((i * 10) + k)
+        done;
+        for _ = 1 to 4 do
+          match Q.dequeue q h.(i) with
+          | Some v -> trace := v :: !trace
+          | None -> trace := -1 :: !trace
+        done
+      in
+      ignore (run_ok ~seed:sim_seed [| actor 0; actor 1; actor 2; actor 3 |]);
+      trace := !trace @ drain q h.(0));
+  let per_point =
+    List.map
+      (fun p ->
+        let s = Inject.stats p in
+        (Inject.point_name p, s.Inject.hits, s.Inject.parks, s.Inject.kills))
+      Inject.all_points
+  in
+  (List.rev !trace, per_point)
+
+let test_same_seed_same_storm () =
+  for sim_seed = 1 to 40 do
+    let t1 = storm_trace ~sim_seed ~plan_seed:(sim_seed * 13) in
+    let t2 = storm_trace ~sim_seed ~plan_seed:(sim_seed * 13) in
+    if t1 <> t2 then Alcotest.failf "sim seed %d: same seeds, different storm" sim_seed
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Real domains: the storm build under hardware scheduling            *)
+
+let test_real_storm_smoke () =
+  let module W = Wfq.Wfqueue_inject in
+  let run_storm ~lethal ~seed =
+    Inject.reset_stats ();
+    Inject.set_park (fun n -> Unix.sleepf (float_of_int n *. 1e-7));
+    let plan = Inject.Plan.make ~park:50 ~lethal ~seed () in
+    let is_victim = Domain.DLS.new_key (fun () -> false) in
+    let q = W.create ~patience:1 ~segment_shift:2 ~max_garbage:2 () in
+    let ops = 2_000 in
+    let completed = Array.make 4 false in
+    Inject.with_controller
+      (fun p -> if Domain.DLS.get is_victim then Inject.Plan.decide plan p else Inject.Continue)
+      (fun () ->
+        let worker d () =
+          if d < 2 then Domain.DLS.set is_victim true;
+          let h = W.register q in
+          Fun.protect ~finally:(fun () -> W.retire q h) @@ fun () ->
+          try
+            for i = 1 to ops do
+              W.enqueue q h ((d * ops) + i);
+              ignore (W.dequeue q h)
+            done;
+            completed.(d) <- true
+          with Inject.Killed _ -> ()
+        in
+        let ds = List.init 4 (fun d -> Domain.spawn (worker d)) in
+        List.iter Domain.join ds);
+    Array.iteri
+      (fun d ok ->
+        if (not ok) && (d >= 2 || not lethal) then
+          Alcotest.failf "domain %d failed to complete (lethal=%b)" d lethal)
+      completed;
+    (* queue still consistent after the storm *)
+    let rec drain n = match W.pop q with Some _ -> drain (n + 1) | None -> n in
+    ignore (drain 0)
+  in
+  run_storm ~lethal:false ~seed:11L;
+  run_storm ~lethal:true ~seed:12L
+
+let () =
+  Alcotest.run "inject"
+    [
+      ( "build-matrix",
+        [
+          Alcotest.test_case "injector wiring per build" `Quick test_build_matrix;
+          Alcotest.test_case "enabled build transparent without controller" `Quick
+            test_enabled_transparent;
+        ] );
+      ( "park-storms",
+        List.map
+          (fun cls ->
+            Alcotest.test_case
+              (Printf.sprintf "2-of-4 parked at %s points" (Inject.class_name cls))
+              `Quick (test_park_storm cls))
+          [ Inject.Enqueue; Inject.Dequeue; Inject.Helping; Inject.Cleanup; Inject.Hazard ] );
+      ( "kill-storms",
+        [
+          Alcotest.test_case "crashes strand <=1 value, never duplicate" `Quick test_kill_storm;
+          Alcotest.test_case "helpers complete a dead enqueuer's request" `Quick
+            test_helping_completes_dead_enqueuer;
+          Alcotest.test_case "dead dequeuer strands at most one value" `Quick
+            test_dead_dequeuer_strands_at_most_one;
+          Alcotest.test_case "cleanup survives token-holder death" `Quick
+            test_cleanup_token_death_recovers;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "same seeds, same storm" `Quick test_same_seed_same_storm ] );
+      ("real-domains", [ Alcotest.test_case "4-domain storm smoke" `Quick test_real_storm_smoke ]);
+    ]

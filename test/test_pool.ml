@@ -91,6 +91,231 @@ let test_shutdown_completes_backlog () =
     (fun f -> check Alcotest.bool "resolved" true (Pool.poll f <> None))
     futures
 
+(* ------------------------------------------------------------------ *)
+(* Protocol model-checking: the admission/shutdown/drain logic on the
+   simulated scheduler.  The bug this guards against: a worker
+   dequeues EMPTY, then observes [stopping], and exits while a racing
+   submit's ticket sits queued — the submitter's future would then
+   never resolve.  Running the exact shipped protocol text
+   ([Pool.Protocol.Make]) on [Sim.Atomic_shim] makes every atomic
+   access a preemption point, so the race windows are explored
+   deterministically instead of once-in-a-blue-moon. *)
+
+module SimQ = Simsched.Sim.Queue
+module Sim = Simsched.Sim
+
+module SP =
+  Pool.Protocol.Make
+    (Simsched.Sim.Atomic_shim)
+    (struct
+      type 'a t = 'a SimQ.t
+      type 'a handle = 'a SimQ.handle
+
+      let enqueue = SimQ.enqueue
+      let dequeue = SimQ.dequeue
+    end)
+
+(* One scenario: [n_sub] submitters race one shutdowner and one
+   bounded worker shift.  Returns per-submitter resolution counts
+   after the post-run worker finish + residual drain (both outside the
+   scheduler, where sim yields are no-ops — modelling [Pool.shutdown]
+   running after the interleaving settled). *)
+type sim_pool_state = {
+  proto : SP.t;
+  handles : SP.ticket SimQ.handle array;
+  resolutions : int array; (* run+abort calls per submitter's ticket *)
+  admissions : SP.admission option array;
+}
+
+let make_sim_pool_state ~n_sub () =
+  let q = SimQ.create ~patience:1 () in
+  {
+    proto = SP.create q;
+    handles = Array.init (n_sub + 2) (fun _ -> SimQ.register q);
+    resolutions = Array.make n_sub 0;
+    admissions = Array.make n_sub None;
+  }
+
+let sim_pool_fibers st ~n_sub =
+  let submitter s () =
+    let a =
+      SP.submit st.proto st.handles.(s)
+        ~run:(fun () -> st.resolutions.(s) <- st.resolutions.(s) + 1)
+        ~abort:(fun () -> st.resolutions.(s) <- st.resolutions.(s) + 1)
+    in
+    st.admissions.(s) <- Some a
+  in
+  let shutdowner () = SP.begin_shutdown st.proto in
+  let worker () =
+    (* bounded shift: the systematic explorer cannot drive an
+       unbounded idle loop to completion *)
+    let budget = ref 60 in
+    let continue = ref true in
+    while !continue && !budget > 0 do
+      decr budget;
+      match SP.worker_step st.proto st.handles.(n_sub) with
+      | SP.Exit -> continue := false
+      | SP.Ran | SP.Stale | SP.Idle -> ()
+    done
+  in
+  Array.append (Array.init n_sub submitter) [| shutdowner; worker |]
+
+let sim_pool_check st ~n_sub ~ident =
+  (* after the interleaving: the shutdown path finishes the worker's
+     shift and sweeps residuals, exactly like [Pool.shutdown] *)
+  let continue = ref true in
+  let budget = ref 10_000 in
+  while !continue do
+    decr budget;
+    if !budget = 0 then Alcotest.failf "%s: worker never drained out" ident;
+    match SP.worker_step st.proto st.handles.(n_sub) with
+    | SP.Exit -> continue := false
+    | SP.Ran | SP.Stale | SP.Idle -> ()
+  done;
+  ignore (SP.drain st.proto st.handles.(n_sub + 1));
+  for s = 0 to n_sub - 1 do
+    match st.admissions.(s) with
+    | None -> Alcotest.failf "%s: submitter %d never returned" ident s
+    | Some SP.Rejected ->
+      if st.resolutions.(s) <> 0 then
+        Alcotest.failf "%s: rejected ticket %d resolved %d times" ident s st.resolutions.(s)
+    | Some (SP.Accepted | SP.Aborted) ->
+      if st.resolutions.(s) <> 1 then
+        Alcotest.failf "%s: ticket %d resolved %d times (want exactly 1)" ident s
+          st.resolutions.(s)
+  done
+
+let test_protocol_explore () =
+  (* systematic: every schedule with <= 2 forced preemptions of
+     2 submitters vs shutdown vs worker *)
+  let n_sub = 2 in
+  let state = ref None in
+  let r =
+    Sim.explore ~max_schedules:60_000 ~preemptions:2
+      ~make_fibers:(fun () ->
+        let st = make_sim_pool_state ~n_sub () in
+        state := Some st;
+        sim_pool_fibers st ~n_sub)
+      ~check:(fun () -> sim_pool_check (Option.get !state) ~n_sub ~ident:"explore")
+      ()
+  in
+  if r.Sim.truncated_runs > 0 then Alcotest.fail "truncated schedules in protocol exploration";
+  check Alcotest.bool "explored a non-trivial space" true (r.Sim.schedules > 100)
+
+let test_protocol_seed_sweep () =
+  (* randomized: deeper interleavings than the preemption bound *)
+  let n_sub = 3 in
+  for seed = 1 to 1_000 do
+    let st = make_sim_pool_state ~n_sub () in
+    let stats = Sim.run ~seed:(Int64.of_int seed) (sim_pool_fibers st ~n_sub) in
+    if stats.Sim.max_steps_hit then Alcotest.failf "seed %d: step limit" seed;
+    sim_pool_check st ~n_sub ~ident:(Printf.sprintf "seed %d" seed)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Real domains: shutdown under load strands nothing                  *)
+
+let await_or_timeout ~what f =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    match Pool.poll f with
+    | Some r -> r
+    | None ->
+      if Unix.gettimeofday () > deadline then
+        Alcotest.failf "%s: future never resolved (stranded)" what
+      else begin
+        Domain.cpu_relax ();
+        go ()
+      end
+  in
+  go ()
+
+let test_shutdown_under_load () =
+  (* many rounds of: submitter domains racing a shutdown.  Every
+     future returned by a successful submit must resolve — with the
+     task's value or with Error Shutdown, never nothing. *)
+  for round = 1 to 300 do
+    let pool = Pool.create ~workers:1 () in
+    let submitter s =
+      Domain.spawn (fun () ->
+          let rec grab i acc =
+            if i >= 8 then acc
+            else
+              match Pool.submit pool (fun () -> (s * 100) + i) with
+              | f -> grab (i + 1) (f :: acc)
+              | exception Invalid_argument _ -> acc (* pool closed: legal *)
+          in
+          grab 0 [])
+    in
+    let d1 = submitter 1 and d2 = submitter 2 in
+    (* race the shutdown against the submissions *)
+    Pool.shutdown pool;
+    let futures = Domain.join d1 @ Domain.join d2 in
+    List.iteri
+      (fun i f ->
+        match await_or_timeout ~what:(Printf.sprintf "round %d future %d" round i) f with
+        | Ok _ | Error Pool.Shutdown -> ()
+        | Error e -> Alcotest.failf "round %d: unexpected error %s" round (Printexc.to_string e))
+      futures;
+    let o = Pool.obs pool in
+    check Alcotest.int
+      (Printf.sprintf "round %d: no live workers after shutdown" round)
+      0 o.Pool.live_workers
+  done
+
+let test_worker_death_recovery () =
+  let pool = Pool.create ~workers:2 () in
+  let f = Pool.submit pool (fun () -> raise Pool.Worker_abort) in
+  (match await_or_timeout ~what:"aborting task" f with
+  | Error Pool.Worker_abort -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Error Worker_abort");
+  (* the death is visible in the snapshot once the worker unwinds *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec wait_death () =
+    let o = Pool.obs pool in
+    if o.Pool.worker_deaths = 1 && o.Pool.live_workers = 1 then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "death not observed: %d deaths, %d live" o.Pool.worker_deaths
+        o.Pool.live_workers
+    else begin
+      Domain.cpu_relax ();
+      wait_death ()
+    end
+  in
+  wait_death ();
+  (* the surviving worker still serves *)
+  let results = List.init 50 (fun i -> Pool.submit pool (fun () -> i * 3)) in
+  List.iteri
+    (fun i f ->
+      match await_or_timeout ~what:(Printf.sprintf "post-death task %d" i) f with
+      | Ok v -> check Alcotest.int (Printf.sprintf "post-death task %d" i) (i * 3) v
+      | Error _ -> Alcotest.fail "task failed after peer death")
+    results;
+  Pool.shutdown pool
+
+let test_all_workers_dead_then_shutdown () =
+  (* kill the only worker, then submit: nobody will ever run the task,
+     but shutdown must still resolve its future (with Error Shutdown)
+     rather than strand it — the exact bug of the original pool. *)
+  let pool = Pool.create ~workers:1 () in
+  let killer = Pool.submit pool (fun () -> raise Pool.Worker_abort) in
+  (match await_or_timeout ~what:"killer" killer with
+  | Error Pool.Worker_abort -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Error Worker_abort");
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (Pool.obs pool).Pool.live_workers > 0 && Unix.gettimeofday () < deadline do
+    Domain.cpu_relax ()
+  done;
+  let orphan = Pool.submit pool (fun () -> 99) in
+  Pool.shutdown pool;
+  (match await_or_timeout ~what:"orphan" orphan with
+  | Error Pool.Shutdown -> ()
+  | Ok _ -> Alcotest.fail "orphan ran with no live workers?"
+  | Error e -> Alcotest.failf "unexpected error %s" (Printexc.to_string e));
+  let o = Pool.obs pool in
+  check Alcotest.int "death counted" 1 o.Pool.worker_deaths;
+  check Alcotest.bool "orphan aborted" true (o.Pool.aborted_futures >= 1)
+
 let () =
   Alcotest.run "pool"
     [
@@ -105,5 +330,17 @@ let () =
           Alcotest.test_case "many submitters" `Quick test_submitters_from_many_domains;
           Alcotest.test_case "shutdown rejects" `Quick test_shutdown_rejects_submit;
           Alcotest.test_case "shutdown completes backlog" `Quick test_shutdown_completes_backlog;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "submit vs shutdown vs worker, explored" `Quick test_protocol_explore;
+          Alcotest.test_case "seeded interleaving sweep" `Quick test_protocol_seed_sweep;
+        ] );
+      ( "adversity",
+        [
+          Alcotest.test_case "shutdown under load strands nothing" `Quick test_shutdown_under_load;
+          Alcotest.test_case "worker death recovery" `Quick test_worker_death_recovery;
+          Alcotest.test_case "all workers dead, shutdown still resolves" `Quick
+            test_all_workers_dead_then_shutdown;
         ] );
     ]
