@@ -320,6 +320,170 @@ let inject_cmd =
                 "Arm Die instead of Park: victims crash mid-protocol; survivors must still \
                  complete."))
 
+(* N-shard k-batch storm on the fault-injectable router build: every
+   domain exchanges k-value batches through the router (optionally
+   bounded, optionally with victim domains parking or dying at
+   seed-chosen protocol points, batch windows included), then the
+   driver audits conservation — no value duplicated or invented, and
+   no more values missing than the kills can account for (a batch
+   crash strands at most one batch of values). *)
+let shard_cmd =
+  let module R = Shard.Storm in
+  let run shards batch threads victims seed ops park bounded kill =
+    if threads < 1 || shards < 1 || batch < 1 then begin
+      prerr_endline "repro shard: need threads >= 1, --shards >= 1, --batch >= 1";
+      exit 2
+    end;
+    let victims =
+      match victims with
+      | Some k -> max 0 (min k threads)
+      | None -> if kill then max 1 (threads / 2) else 0
+    in
+    let t = R.create ~shards ?capacity:bounded ~rebalance_every:64 () in
+    let plan = Inject.Plan.make ~park ~lethal:kill ~seed:(Int64.of_int seed) () in
+    Inject.reset_stats ();
+    Inject.set_park (fun n -> Unix.sleepf (float_of_int n *. 1e-6));
+    let is_victim = Domain.DLS.new_key (fun () -> false) in
+    if victims > 0 then
+      Inject.install (fun p ->
+          if Domain.DLS.get is_victim then Inject.Plan.decide plan p else Inject.Continue);
+    Printf.printf
+      "Shard storm: %d shards, batch %d, %d domains (%d victims), %d values each%s\n  plan: %s\n%!"
+      shards batch threads victims ops
+      (match bounded with
+      | Some c -> Printf.sprintf ", bounded at %d/shard" c
+      | None -> "")
+      (Inject.Plan.describe plan);
+    let got = Array.init threads (fun _ -> ref []) in
+    let venq = Array.make threads 0 in
+    let outcome = Array.make threads "spawn failed" in
+    let killed = Array.make threads false in
+    let worker d () =
+      if d < victims then Domain.DLS.set is_victim true;
+      let h = R.register t in
+      Fun.protect ~finally:(fun () -> R.retire t h) @@ fun () ->
+      try
+        let i = ref 0 in
+        while !i < ops do
+          let k = min batch (ops - !i) in
+          R.enq_batch t h (Array.init k (fun j -> (d * ops) + !i + j));
+          i := !i + k;
+          venq.(d) <- !i;
+          Array.iter
+            (function Some v -> got.(d) := v :: !(got.(d)) | None -> ())
+            (R.deq_batch t h k)
+        done;
+        outcome.(d) <- "completed"
+      with Inject.Killed p ->
+        killed.(d) <- true;
+        outcome.(d) <- "killed @ " ^ Inject.point_name p
+    in
+    let domains = List.init threads (fun d -> Domain.spawn (worker d)) in
+    List.iter Domain.join domains;
+    if victims > 0 then Inject.remove ();
+    let drained = ref [] in
+    let hd = R.register t in
+    let rec drain () =
+      match R.dequeue t hd with
+      | Some v ->
+        drained := v :: !drained;
+        drain ()
+      | None -> ()
+    in
+    drain ();
+    R.retire t hd;
+    let kills = (Inject.total_stats ()).Inject.kills in
+    let failures = ref 0 in
+    Printf.printf "\n";
+    Array.iteri
+      (fun d oc ->
+        let role = if d < victims then "victim" else "survivor" in
+        Printf.printf "  domain %2d  %-8s %-32s %7d/%d enqueued\n" d role oc venq.(d) ops;
+        if (not killed.(d)) && venq.(d) < ops then incr failures)
+      outcome;
+    (* conservation audit over the full run *)
+    let all =
+      List.sort compare (!drained @ List.concat_map (fun r -> !r) (Array.to_list got))
+    in
+    let violations = ref [] in
+    let rec dups = function
+      | a :: (b :: _ as tl) ->
+        if a = b then violations := Printf.sprintf "value %d dequeued twice" a :: !violations;
+        dups tl
+      | _ -> ()
+    in
+    dups all;
+    (* a value is legitimate iff its owner enqueued it for sure, or it
+       belongs to a killed victim's in-flight batch (helpers may have
+       completed it) *)
+    List.iter
+      (fun v ->
+        let d = v / ops and i = v mod ops in
+        if d < 0 || d >= threads || (i >= venq.(d) && not (killed.(d) && i < venq.(d) + batch))
+        then violations := Printf.sprintf "alien value %d" v :: !violations)
+      all;
+    let missing = ref 0 in
+    let present = Hashtbl.create (List.length all) in
+    List.iter (fun v -> Hashtbl.replace present v ()) all;
+    Array.iteri
+      (fun d n ->
+        for i = 0 to n - 1 do
+          if not (Hashtbl.mem present ((d * ops) + i)) then incr missing
+        done)
+      venq;
+    if !missing > kills * batch then
+      violations :=
+        Printf.sprintf "%d values missing but only %d kills x batch %d" !missing kills batch
+        :: !violations;
+    Printf.printf "  %d value(s) drained post-storm, %d missing (%d kills x batch %d allowed)\n"
+      (List.length !drained) !missing kills batch;
+    Format.printf "@.Per-shard breakdown:@.%a@." R.pp_snapshot_table t;
+    if victims > 0 then Format.printf "@.Injected faults:@.%a" Inject.pp_stats ();
+    if !failures > 0 || !violations <> [] then begin
+      List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) !violations;
+      if !failures > 0 then
+        Printf.printf "FAIL: %d unkilled domain(s) did not complete — replay with --seed %d\n"
+          !failures seed;
+      exit 1
+    end
+    else Printf.printf "\nOK: values conserved across %d shards (d-bounded reordering only).\n" shards
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Sharded-router storm: N shards exchanging k-value FAA batches across domains, with \
+          optional bounded capacity and fault injection; verifies value conservation")
+    Term.(
+      const run
+      $ Arg.(value & opt int 4 & info [ "shards" ] ~docv:"S" ~doc:"Router shards.")
+      $ Arg.(value & opt int 4 & info [ "batch" ] ~docv:"K" ~doc:"Values per batch operation.")
+      $ Arg.(value & opt int 8 & info [ "threads" ] ~docv:"N" ~doc:"Storm domains.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "victims" ] ~docv:"K"
+              ~doc:"Domains subject to the fault plan (default: half when --kill, else none).")
+      $ Arg.(
+          value
+          & opt int 42
+          & info [ "seed" ] ~docv:"SEED" ~doc:"Fault-plan seed; a failure replays from it.")
+      $ Arg.(value & opt int 20_000 & info [ "ops" ] ~docv:"N" ~doc:"Values enqueued per domain.")
+      $ Arg.(
+          value
+          & opt int 200
+          & info [ "park" ] ~docv:"UNITS"
+              ~doc:"Stall length in park units (one unit is 1us in this driver).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "bounded" ] ~docv:"CAP"
+              ~doc:"Bound each shard at $(docv) values (backpressure mode).")
+      $ Arg.(
+          value
+          & flag
+          & info [ "kill" ]
+              ~doc:"Arm Die: victim domains crash mid-protocol (batch windows included)."))
+
 let list_cmd =
   let run () =
     List.iter
@@ -364,6 +528,7 @@ let () =
             latency_cmd;
             stats_cmd;
             inject_cmd;
+            shard_cmd;
             list_cmd;
             all_cmd;
           ]))

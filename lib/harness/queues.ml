@@ -78,6 +78,110 @@ let wf_obs ?(patience = 10) ?segment_shift ?max_garbage ?reclamation ?name () =
         });
   }
 
+(* Sharded router over production queues: the d-bounded relaxed-FIFO
+   deployment shape.  One factory per shard count so the bench tables
+   show the scaling curve. *)
+let wf_shard ?(shards = 2) ?(patience = 10) ?capacity ?rebalance_every ?name () =
+  let name = match name with Some n -> n | None -> Printf.sprintf "wf-shard-%d" shards in
+  {
+    name;
+    description =
+      Printf.sprintf "sharded router over %d wait-free queues (relaxed FIFO%s)" shards
+        (match capacity with None -> "" | Some c -> Printf.sprintf ", bounded %d/shard" c);
+    is_real_queue = true;
+    make =
+      (fun () ->
+        let t = Shard.Wf.create ~shards ?capacity ?rebalance_every ~patience () in
+        {
+          iname = name;
+          register =
+            (fun () ->
+              let h = Shard.Wf.register t in
+              {
+                enqueue = (fun v -> Shard.Wf.enqueue t h v);
+                dequeue = (fun () -> Shard.Wf.dequeue t h);
+                release = (fun () -> Shard.Wf.retire t h);
+              });
+          op_stats = (fun () -> Some (Shard.Wf.snapshot t).Obs.Snapshot.ops);
+          reset_op_stats = (fun () -> Shard.Wf.reset_stats t);
+          snapshot = (fun () -> Some (Shard.Wf.snapshot t));
+        });
+  }
+
+(* One wait-free queue driven through the k-cell batch operations,
+   with client-side buffering: enqueues coalesce into one tail FAA per
+   [batch] values, dequeues prefetch up to [batch] values per head
+   FAA.  Measures the amortization headroom of the batch path against
+   the one-FAA-per-op baseline. *)
+let wf_batch ?(batch = 8) ?(patience = 10) ?name () =
+  let name = match name with Some n -> n | None -> Printf.sprintf "wf-batch-%d" batch in
+  if batch < 1 then invalid_arg "Queues.wf_batch: batch < 1";
+  {
+    name;
+    description =
+      Printf.sprintf "wait-free queue, %d-cell FAA batching (buffering facade)" batch;
+    is_real_queue = true;
+    make =
+      (fun () ->
+        let q = Wfq.Wfqueue.create ~patience () in
+        {
+          iname = name;
+          register =
+            (fun () ->
+              let h = Wfq.Wfqueue.register q in
+              let outbuf = Array.make batch 0 in
+              let out_len = ref 0 in
+              let prefetch = Queue.create () in
+              let flush () =
+                if !out_len > 0 then begin
+                  Wfq.Wfqueue.enq_batch q h (Array.sub outbuf 0 !out_len);
+                  out_len := 0
+                end
+              in
+              {
+                enqueue =
+                  (fun v ->
+                    outbuf.(!out_len) <- v;
+                    incr out_len;
+                    if !out_len = batch then flush ());
+                dequeue =
+                  (fun () ->
+                    if not (Queue.is_empty prefetch) then Some (Queue.pop prefetch)
+                    else begin
+                      (* publish our own pending values first so a
+                         pairs-style worker can always drain what it
+                         produced *)
+                      flush ();
+                      (* size the ticket batch by the visible backlog
+                         so a near-empty queue is not hammered with
+                         k-ticket EMPTY batches *)
+                      let want = min batch (max 1 (Wfq.Wfqueue.approx_length q)) in
+                      let out = Wfq.Wfqueue.deq_batch q h want in
+                      Array.iter
+                        (function Some v -> Queue.push v prefetch | None -> ())
+                        out;
+                      if Queue.is_empty prefetch then None else Some (Queue.pop prefetch)
+                    end);
+                release =
+                  (fun () ->
+                    (* conservation across release: publish buffered
+                       values and return prefetched-but-unconsumed
+                       ones *)
+                    flush ();
+                    if not (Queue.is_empty prefetch) then begin
+                      let leftovers =
+                        Array.init (Queue.length prefetch) (fun _ -> Queue.pop prefetch)
+                      in
+                      Wfq.Wfqueue.enq_batch q h leftovers
+                    end;
+                    Wfq.Wfqueue.retire q h);
+              });
+          op_stats = (fun () -> Some (Wfq.Wfqueue.stats q));
+          reset_op_stats = (fun () -> Wfq.Wfqueue.reset_stats q);
+          snapshot = (fun () -> Some (Wfq.Wfqueue.snapshot q));
+        });
+  }
+
 let simple name description is_real_queue make_ops =
   {
     name;
@@ -192,6 +296,9 @@ let all =
     wf ~patience:10 ();
     wf ~patience:0 ();
     wf_obs ~patience:10 ();
+    wf_shard ~shards:2 ();
+    wf_shard ~shards:8 ();
+    wf_batch ~batch:8 ();
     wf_llsc;
     lcrq ();
     ccqueue;
@@ -201,6 +308,18 @@ let all =
     mutex;
     faa;
   ]
-let figure2_set = [ wf ~patience:10 (); wf ~patience:0 (); lcrq (); ccqueue; msqueue; faa ]
+
+let figure2_set =
+  [
+    wf ~patience:10 ();
+    wf ~patience:0 ();
+    wf_shard ~shards:2 ();
+    wf_shard ~shards:8 ();
+    wf_batch ~batch:8 ();
+    lcrq ();
+    ccqueue;
+    msqueue;
+    faa;
+  ]
 let find name = List.find_opt (fun f -> f.name = name) all
 let names () = List.map (fun f -> f.name) all

@@ -42,14 +42,36 @@ val wf_obs : ?patience:int -> ?segment_shift:int -> ?max_garbage:int -> ?reclama
     probe's event tier is compiled in.  Its throughput delta against
     {!wf} is the measured cost of instrumentation. *)
 
+val wf_shard :
+  ?shards:int ->
+  ?patience:int ->
+  ?capacity:int ->
+  ?rebalance_every:int ->
+  ?name:string ->
+  unit ->
+  factory
+(** Sharded router ([Shard.Wf]) over [shards] production queues:
+    d-bounded relaxed FIFO, optionally bounded at [capacity] values
+    per shard.  [op_stats]/[snapshot] fold the per-shard telemetry. *)
+
+val wf_batch : ?batch:int -> ?patience:int -> ?name:string -> unit -> factory
+(** One production queue driven through [enq_batch]/[deq_batch] with a
+    client-side buffering facade: one tail FAA per [batch] enqueues,
+    one head FAA per up-to-[batch] dequeues.  Values may sit in the
+    per-handle buffer until the next dequeue or [release] flushes
+    them, so cross-thread visibility is batch-delayed — the documented
+    trade of the batching deployment shape. *)
+
 val all : factory list
-(** The evaluation set: wf-10, wf-0, wf-10-obs (instrumented), wf-llsc
+(** The evaluation set: wf-10, wf-0, wf-10-obs (instrumented),
+    wf-shard-2/8 (sharded router), wf-batch-8 (FAA batching), wf-llsc
     (CAS-emulated FAA, the paper's Power7 configuration), lcrq,
     ccqueue, msqueue, kp (Kogan-Petrank), two-lock, mutex, faa. *)
 
 val figure2_set : factory list
 (** The queues plotted in Figure 2 (all of [all] except the extra
-    blocking baselines). *)
+    blocking baselines), plus the sharded/batched variants so the
+    scaling tables cover them. *)
 
 val find : string -> factory option
 val names : unit -> string list

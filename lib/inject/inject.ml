@@ -6,12 +6,14 @@ type point =
   | Enq_slow_pre_commit
   | Deq_fast_after_faa
   | Deq_slow_published
+  | Enq_batch_after_faa
+  | Deq_batch_after_faa
   | Help_enq_pre_claim
   | Help_deq_pre_close
   | Cleanup_token_held
   | Hazard_published
 
-type cls = Enqueue | Dequeue | Helping | Cleanup | Hazard
+type cls = Enqueue | Dequeue | Batch | Helping | Cleanup | Hazard
 
 let all_points =
   [
@@ -20,6 +22,8 @@ let all_points =
     Enq_slow_pre_commit;
     Deq_fast_after_faa;
     Deq_slow_published;
+    Enq_batch_after_faa;
+    Deq_batch_after_faa;
     Help_enq_pre_claim;
     Help_deq_pre_close;
     Cleanup_token_held;
@@ -32,16 +36,19 @@ let index = function
   | Enq_slow_pre_commit -> 2
   | Deq_fast_after_faa -> 3
   | Deq_slow_published -> 4
-  | Help_enq_pre_claim -> 5
-  | Help_deq_pre_close -> 6
-  | Cleanup_token_held -> 7
-  | Hazard_published -> 8
+  | Enq_batch_after_faa -> 5
+  | Deq_batch_after_faa -> 6
+  | Help_enq_pre_claim -> 7
+  | Help_deq_pre_close -> 8
+  | Cleanup_token_held -> 9
+  | Hazard_published -> 10
 
 let n_points = List.length all_points
 
 let class_of = function
   | Enq_fast_after_faa | Enq_slow_published | Enq_slow_pre_commit -> Enqueue
   | Deq_fast_after_faa | Deq_slow_published -> Dequeue
+  | Enq_batch_after_faa | Deq_batch_after_faa -> Batch
   | Help_enq_pre_claim | Help_deq_pre_close -> Helping
   | Cleanup_token_held -> Cleanup
   | Hazard_published -> Hazard
@@ -52,6 +59,8 @@ let point_name = function
   | Enq_slow_pre_commit -> "enq_slow_pre_commit"
   | Deq_fast_after_faa -> "deq_fast_after_faa"
   | Deq_slow_published -> "deq_slow_published"
+  | Enq_batch_after_faa -> "enq_batch_after_faa"
+  | Deq_batch_after_faa -> "deq_batch_after_faa"
   | Help_enq_pre_claim -> "help_enq_pre_claim"
   | Help_deq_pre_close -> "help_deq_pre_close"
   | Cleanup_token_held -> "cleanup_token_held"
@@ -60,6 +69,7 @@ let point_name = function
 let class_name = function
   | Enqueue -> "enqueue"
   | Dequeue -> "dequeue"
+  | Batch -> "batch"
   | Helping -> "helping"
   | Cleanup -> "cleanup"
   | Hazard -> "hazard"

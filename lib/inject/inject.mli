@@ -41,6 +41,13 @@
       not yet helped/claimed its cell.
     - [Deq_slow_published]: a dequeue request is visible; peers must
       finish it.
+    - [Enq_batch_after_faa]: a batch enqueuer reserved [k] consecutive
+      tail tickets with one FAA but has deposited none of the values —
+      the widest abandoned-window the algorithm can create; every
+      reserved cell must be completable (poisoned or helped) without
+      the owner.
+    - [Deq_batch_after_faa]: a batch dequeuer consumed [k] consecutive
+      head tickets but has claimed none of its cells.
     - [Help_enq_pre_claim]: a helper is about to claim a peer's
       enqueue request for a cell.
     - [Help_deq_pre_close]: a helper is about to close a peer's
@@ -57,12 +64,14 @@ type point =
   | Enq_slow_pre_commit
   | Deq_fast_after_faa
   | Deq_slow_published
+  | Enq_batch_after_faa
+  | Deq_batch_after_faa
   | Help_enq_pre_claim
   | Help_deq_pre_close
   | Cleanup_token_held
   | Hazard_published
 
-type cls = Enqueue | Dequeue | Helping | Cleanup | Hazard
+type cls = Enqueue | Dequeue | Batch | Helping | Cleanup | Hazard
 
 val all_points : point list
 val class_of : point -> cls

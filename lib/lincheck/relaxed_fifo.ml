@@ -1,0 +1,98 @@
+(* See relaxed_fifo.mli. *)
+
+type violation =
+  | Shard_violation of int * Fast_fifo.violation
+  | Overtaken of { value : int; count : int; bound : int }
+
+let pp_violation ppf = function
+  | Shard_violation (s, v) -> Format.fprintf ppf "shard %d: %a" s Fast_fifo.pp_violation v
+  | Overtaken { value; count; bound } ->
+    Format.fprintf ppf "value %d overtaken by %d later-enqueued values (bound %d)" value count
+      bound
+
+(* Per-value intervals for the overtaking count; values never dequeued
+   get d_inv = d_res = max_int and can neither overtake (their d_res
+   never strictly precedes anything) nor be counted as overtaken. *)
+type itv = {
+  value : int;
+  e_inv : int;
+  e_res : int;
+  mutable d_inv : int;
+  mutable d_res : int;
+}
+
+let check ?(complete = false) ~shards ~shard_of ~d evs =
+  if shards < 1 then invalid_arg "Relaxed_fifo.check: shards < 1";
+  let shard_of v =
+    let s = shard_of v in
+    if s < 0 || s >= shards then
+      invalid_arg (Printf.sprintf "Relaxed_fifo.check: shard_of %d = %d not in [0,%d)" v s shards);
+    s
+  in
+  (* Clause 1: each shard's sub-history is strict FIFO.  EMPTY events
+     go to every shard: a router EMPTY asserts each shard was observed
+     empty within the call's interval, so a value provably resident in
+     shard s across that whole interval refutes it.  Values the
+     checker cannot attribute (never-enqueued Gots) keep their Got
+     event in the shard [shard_of] names, so Fast_fifo still reports
+     them. *)
+  let buckets = Array.make shards [] in
+  Array.iter
+    (fun (e : (Queue_spec.input, Queue_spec.output) History.event) ->
+      match (e.History.input, e.History.output) with
+      | Queue_spec.Enq x, _ -> buckets.(shard_of x) <- e :: buckets.(shard_of x)
+      | Queue_spec.Deq, Queue_spec.Got v -> buckets.(shard_of v) <- e :: buckets.(shard_of v)
+      | Queue_spec.Deq, Queue_spec.Empty ->
+        Array.iteri (fun s b -> buckets.(s) <- e :: b) buckets
+      | Queue_spec.Deq, Queue_spec.Accepted -> ())
+    evs;
+  let result = ref (Ok ()) in
+  Array.iteri
+    (fun s bucket ->
+      if !result = Ok () then
+        let sub = Array.of_list (List.rev bucket) in
+        match Fast_fifo.check ~complete sub with
+        | Ok () -> ()
+        | Error v -> result := Error (Shard_violation (s, v)))
+    buckets;
+  (* Clause 2: strict-real-time overtaking is bounded by d.  O(n^2)
+     over dequeued values — simsched histories are small; the stress
+     suites use Fast_fifo per shard only. *)
+  if !result = Ok () then begin
+    let tbl : (int, itv) Hashtbl.t = Hashtbl.create 256 in
+    Array.iter
+      (fun (e : (Queue_spec.input, Queue_spec.output) History.event) ->
+        match (e.History.input, e.History.output) with
+        | Queue_spec.Enq x, _ ->
+          Hashtbl.replace tbl x
+            {
+              value = x;
+              e_inv = e.History.inv;
+              e_res = e.History.res;
+              d_inv = max_int;
+              d_res = max_int;
+            }
+        | Queue_spec.Deq, Queue_spec.Got v -> (
+          match Hashtbl.find_opt tbl v with
+          | Some it ->
+            it.d_inv <- e.History.inv;
+            it.d_res <- e.History.res
+          | None -> () (* caught by clause 1 *))
+        | Queue_spec.Deq, (Queue_spec.Empty | Queue_spec.Accepted) -> ())
+      evs;
+    let items = Array.of_list (Hashtbl.fold (fun _ it acc -> it :: acc) tbl []) in
+    Array.iter
+      (fun a ->
+        if !result = Ok () && a.d_inv <> max_int then begin
+          let count = ref 0 in
+          Array.iter
+            (fun b ->
+              (* b enqueued strictly after a, dequeued strictly before *)
+              if b != a && a.e_res < b.e_inv && b.d_res < a.d_inv then incr count)
+            items;
+          if !count > d then
+            result := Error (Overtaken { value = a.value; count = !count; bound = d })
+        end)
+      items
+  end;
+  !result

@@ -1,0 +1,47 @@
+(** Checker for the sharded router's d-bounded relaxed-FIFO contract.
+
+    A sharded queue (Shard.Router) is deliberately not linearizable
+    against the FIFO spec; what it promises instead (DESIGN.md §8) is
+
+    + {b per-shard FIFO}: the sub-history of each shard is a
+      linearizable FIFO history, and
+    + {b d-bounded global order}: no dequeued value is overtaken — in
+      strict real time — by more than [d] values enqueued after it.
+
+    This module checks both on a recorded history, given the routing
+    function ([shard_of]: which shard each distinct value was sent
+    to).  Clause 1 reuses {!Fast_fifo} per shard, so conservation
+    (nothing invented, nothing dequeued twice, nothing lost under
+    [complete]) is inherited; EMPTY results are replayed into {e
+    every} shard's sub-history, because a router EMPTY claims each
+    shard was individually observed empty inside that call's
+    interval.  Clause 2 counts, for each dequeued value [a], the
+    values [b] with [enq(a) <_rt enq(b)] and [deq(b) <_rt deq(a)].
+
+    With [shards = 1] (constant [shard_of]) and [d = 0] both clauses
+    together are exactly the strict-FIFO conditions of
+    {!Fast_fifo.check} — the acceptance reduction the single-queue
+    tests pin. *)
+
+type violation =
+  | Shard_violation of int * Fast_fifo.violation
+      (** a shard's own sub-history broke strict FIFO (or, for
+          conservation clauses, the global history did) *)
+  | Overtaken of { value : int; count : int; bound : int }
+      (** [count > bound] values enqueued strictly after [value] were
+          dequeued strictly before it *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check :
+  ?complete:bool ->
+  shards:int ->
+  shard_of:(int -> int) ->
+  d:int ->
+  (Queue_spec.input, Queue_spec.output) History.event array ->
+  (unit, violation) result
+(** [check ~shards ~shard_of ~d evs].  Values must be distinct (the
+    {!Fast_fifo} precondition).  [complete] additionally requires
+    every enqueued value to be dequeued (drained runs).
+    @raise Invalid_argument if [shard_of] maps outside
+    [0 .. shards-1]. *)

@@ -36,5 +36,15 @@ type t = {
           event-tier zeros are "not measured", not "measured zero" *)
 }
 
+val merge : t -> t -> t
+(** Pointwise sum of counters and gauges; [patience] is the max and
+    [probe_enabled] the conjunction (a merged event tier is only
+    trustworthy if every constituent recorded it). *)
+
+val fold : t list -> t
+(** {!merge} across a non-empty list — how a sharded router presents N
+    per-shard snapshots as one queue-level view.
+    @raise Invalid_argument on the empty list. *)
+
 val pp : Format.formatter -> t -> unit
 (** Multi-line human-readable summary (the [repro stats] footer). *)

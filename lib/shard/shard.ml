@@ -1,0 +1,268 @@
+(* Sharded MPMC router; see shard.mli for the contract and DESIGN.md
+   §8 for the d-bounded ordering argument. *)
+
+module type QUEUE = sig
+  type 'a t
+  type 'a handle
+
+  val create :
+    ?patience:int ->
+    ?segment_shift:int ->
+    ?max_garbage:int ->
+    ?reclamation:bool ->
+    unit ->
+    'a t
+
+  val register : 'a t -> 'a handle
+  val retire : 'a t -> 'a handle -> unit
+  val enqueue : 'a t -> 'a handle -> 'a -> unit
+  val dequeue : 'a t -> 'a handle -> 'a option
+  val enq_batch : 'a t -> 'a handle -> 'a array -> unit
+  val deq_batch : 'a t -> 'a handle -> int -> 'a option array
+  val approx_length : 'a t -> int
+  val snapshot : 'a t -> Obs.Snapshot.t
+  val reset_stats : 'a t -> unit
+end
+
+module Router (A : Primitives.Atomic_prims.S) (Q : QUEUE) = struct
+  exception Would_block
+
+  type 'a t = {
+    shards : 'a Q.t array;
+    n : int;
+    capacity : int; (* per shard; max_int means unbounded *)
+    rebalance_every : int;
+    (* The two routing counters are the router's only shared-write
+       state; both are FAA tickets, so routing inherits the paper's
+       no-CAS-retry discipline.  Contended so they never share a line
+       with each other or the shard array. *)
+    assign : int A.t; (* producer-affinity tickets *)
+    deq_cursor : int A.t; (* consumer rotation-start tickets *)
+    steals : int A.t;
+    rebalances : int A.t;
+    blocked : int A.t;
+  }
+
+  type 'a handle = {
+    hs : 'a Q.handle array; (* one per shard: dequeues scan them all *)
+    mutable enq_shard : int;
+    mutable enq_since_rebalance : int;
+  }
+
+  let create ?(shards = 2) ?capacity ?(rebalance_every = 64) ?patience ?segment_shift
+      ?max_garbage ?reclamation () =
+    if shards < 1 then invalid_arg "Shard.Router.create: shards < 1";
+    if rebalance_every < 1 then invalid_arg "Shard.Router.create: rebalance_every < 1";
+    let capacity =
+      match capacity with
+      | None -> max_int
+      | Some c when c < 1 -> invalid_arg "Shard.Router.create: capacity < 1"
+      | Some c -> c
+    in
+    {
+      shards =
+        Array.init shards (fun _ ->
+            Q.create ?patience ?segment_shift ?max_garbage ?reclamation ());
+      n = shards;
+      capacity;
+      rebalance_every;
+      assign = A.make_contended 0;
+      deq_cursor = A.make_contended 0;
+      steals = A.make_contended 0;
+      rebalances = A.make_contended 0;
+      blocked = A.make_contended 0;
+    }
+
+  let register t =
+    {
+      hs = Array.map Q.register t.shards;
+      enq_shard = A.fetch_and_add t.assign 1 mod t.n;
+      enq_since_rebalance = 0;
+    }
+
+  let retire t h = Array.iteri (fun i hh -> Q.retire t.shards.(i) hh) h.hs
+
+  (* ---------------------------------------------------------------- *)
+  (* Enqueue routing                                                  *)
+
+  let move_home t h s =
+    if s <> h.enq_shard then begin
+      h.enq_shard <- s;
+      ignore (A.fetch_and_add t.rebalances 1)
+    end
+
+  (* Periodic affinity refresh: after [rebalance_every] values the
+     handle draws a fresh assignment ticket, so producers migrate and
+     initial skew washes out without any coordination beyond one FAA. *)
+  let after_enqueue t h k =
+    h.enq_since_rebalance <- h.enq_since_rebalance + k;
+    if h.enq_since_rebalance >= t.rebalance_every then begin
+      h.enq_since_rebalance <- 0;
+      move_home t h (A.fetch_and_add t.assign 1 mod t.n)
+    end
+
+  let has_room t s k = Q.approx_length t.shards.(s) + k <= t.capacity
+
+  (* Find a shard with room for [k] more values, home first: [Some s]
+     rebalances onto [s], [None] means all full right now. *)
+  let find_room t h k =
+    let rec scan j =
+      if j = t.n then None
+      else
+        let s = (h.enq_shard + j) mod t.n in
+        if has_room t s k then Some s else scan (j + 1)
+    in
+    scan 0
+
+  let enq_one t h s v = Q.enqueue t.shards.(s) h.hs.(s) v
+
+  (* [Some s] = enqueued to shard [s]; [None] = all shards full. *)
+  let try_enqueue_shard t h v =
+    if t.capacity = max_int then begin
+      let s = h.enq_shard in
+      enq_one t h s v;
+      after_enqueue t h 1;
+      Some s
+    end
+    else
+      match find_room t h 1 with
+      | Some s ->
+        move_home t h s;
+        enq_one t h s v;
+        after_enqueue t h 1;
+        Some s
+      | None ->
+        ignore (A.fetch_and_add t.blocked 1);
+        None
+
+  let try_enqueue t h v = Option.is_some (try_enqueue_shard t h v)
+
+  let rec enqueue' t h v =
+    match try_enqueue_shard t h v with
+    | Some s -> s
+    | None ->
+      A.cpu_relax ();
+      enqueue' t h v
+
+  let enqueue t h v = ignore (enqueue' t h v)
+  let enqueue_exn t h v = if not (try_enqueue t h v) then raise Would_block
+
+  let try_enq_batch_shard t h vs =
+    let k = Array.length vs in
+    if k = 0 then Some h.enq_shard
+    else if t.capacity = max_int then begin
+      let s = h.enq_shard in
+      Q.enq_batch t.shards.(s) h.hs.(s) vs;
+      after_enqueue t h k;
+      Some s
+    end
+    else
+      match find_room t h k with
+      | Some s ->
+        move_home t h s;
+        Q.enq_batch t.shards.(s) h.hs.(s) vs;
+        after_enqueue t h k;
+        Some s
+      | None ->
+        ignore (A.fetch_and_add t.blocked 1);
+        None
+
+  let try_enq_batch t h vs = Option.is_some (try_enq_batch_shard t h vs)
+
+  let rec enq_batch' t h vs =
+    match try_enq_batch_shard t h vs with
+    | Some s -> s
+    | None ->
+      A.cpu_relax ();
+      enq_batch' t h vs
+
+  let enq_batch t h vs = ignore (enq_batch' t h vs)
+  let enq_batch_exn t h vs = if not (try_enq_batch t h vs) then raise Would_block
+
+  (* ---------------------------------------------------------------- *)
+  (* Dequeue routing                                                  *)
+
+  (* Consumers rotate through the shards starting at a global FAA
+     ticket.  A router-level EMPTY is only reported after every shard
+     answered EMPTY through a real dequeue inside this call — the
+     relaxed contract's EMPTY clause (each shard individually observed
+     empty during the interval), with no reliance on the racy
+     [approx_length]. *)
+  let dequeue t h =
+    let start = A.fetch_and_add t.deq_cursor 1 mod t.n in
+    let rec scan j =
+      if j = t.n then None
+      else
+        let s = (start + j) mod t.n in
+        match Q.dequeue t.shards.(s) h.hs.(s) with
+        | Some _ as v ->
+          if j > 0 then ignore (A.fetch_and_add t.steals 1);
+          v
+        | None -> scan (j + 1)
+    in
+    scan 0
+
+  (* A shard that looks non-empty gets the full k-ticket batch; one
+     that looks empty gets a single-ticket probe, so an imprecise
+     length estimate cannot fabricate an EMPTY but also cannot burn
+     k tickets on a drained shard. *)
+  let deq_batch t h k =
+    if k <= 0 then [||]
+    else begin
+      let start = A.fetch_and_add t.deq_cursor 1 mod t.n in
+      let rec scan j =
+        if j = t.n then Array.make k None
+        else begin
+          let s = (start + j) mod t.n in
+          let want = if Q.approx_length t.shards.(s) > 0 then k else 1 in
+          let out = Q.deq_batch t.shards.(s) h.hs.(s) want in
+          if Array.exists Option.is_some out then begin
+            if j > 0 then ignore (A.fetch_and_add t.steals 1);
+            if want = k then out
+            else begin
+              let full = Array.make k None in
+              Array.blit out 0 full 0 want;
+              full
+            end
+          end
+          else scan (j + 1)
+        end
+      in
+      scan 0
+    end
+
+  (* ---------------------------------------------------------------- *)
+  (* Introspection                                                    *)
+
+  let shards t = t.n
+  let home_shard h = h.enq_shard
+  let shard_length t s = Q.approx_length t.shards.(s)
+  let approx_length t = Array.fold_left (fun acc q -> acc + Q.approx_length q) 0 t.shards
+  let steals t = A.get t.steals
+  let rebalances t = A.get t.rebalances
+  let blocked t = A.get t.blocked
+
+  let d_bound t ~dequeuers ~batch ~depth =
+    if t.n = 1 then 0 else (t.n - 1) * (depth + (dequeuers * max 1 batch))
+
+  let shard_snapshots t = Array.map Q.snapshot t.shards
+  let snapshot t = Obs.Snapshot.fold (Array.to_list (shard_snapshots t))
+  let reset_stats t = Array.iter Q.reset_stats t.shards
+
+  let pp_snapshot_table ppf t =
+    Format.fprintf ppf "@[<v>";
+    Array.iteri
+      (fun i snap ->
+        let ops = snap.Obs.Snapshot.ops in
+        Format.fprintf ppf
+          "shard %d: enq %d fast / %d slow; deq %d fast / %d slow (%d empty); segs live %d reclaimed %d@."
+          i ops.Obs.Counters.fast_enqueues ops.slow_enqueues ops.fast_dequeues
+          ops.slow_dequeues ops.empty_dequeues snap.segments.live snap.segments.reclaimed)
+      (shard_snapshots t);
+    Format.fprintf ppf "router:  %d steals, %d rebalances, %d blocked@]" (steals t)
+      (rebalances t) (blocked t)
+end
+
+module Wf = Router (Primitives.Atomic_prims.Real) (Wfq.Wfqueue)
+module Wf_obs = Router (Primitives.Atomic_prims.Real) (Wfq.Wfqueue_obs)
+module Storm = Router (Primitives.Atomic_prims.Real) (Wfq.Wfqueue_inject)

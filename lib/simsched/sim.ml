@@ -87,6 +87,7 @@ module Atomic_shim : Wfq.Atomic_prims.S = struct
 end
 
 module Queue = Wfq.Wfqueue_algo.Make (Atomic_shim) (Obs.Probe.Enabled) (Inject.Enabled)
+module Shard_router = Shard.Router (Atomic_shim) (Queue)
 module Ms_queue = Baselines.Msqueue_algo.Make (Atomic_shim) (Obs.Probe.Enabled)
 module Lcrq = Baselines.Lcrq_algo.Make (Atomic_shim) (Obs.Probe.Enabled)
 

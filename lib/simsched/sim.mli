@@ -21,6 +21,12 @@ module Atomic_shim : Wfq.Atomic_prims.S
 
 module Queue : module type of Wfq.Wfqueue_algo.Make (Atomic_shim) (Obs.Probe.Enabled) (Inject.Enabled)
 
+module Shard_router : module type of Shard.Router (Atomic_shim) (Queue)
+(** The sharded router over the simulated queue: every routing FAA
+    and every shard-internal access is a scheduler preemption point,
+    so the d-relaxation checker sees real adversarial interleavings
+    of the scan/steal/rebalance races. *)
+
 module Ms_queue : module type of Baselines.Msqueue_algo.Make (Atomic_shim) (Obs.Probe.Enabled)
 (** The MS-Queue baseline on the same simulated atomics, for
     differential schedule testing. *)

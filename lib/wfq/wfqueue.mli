@@ -75,6 +75,29 @@ val dequeue : 'a t -> 'a handle -> 'a option
 (** Wait-free dequeue (Listing 4); [None] means the queue was
     observed empty (the paper's EMPTY). *)
 
+val enq_batch : 'a t -> 'a handle -> 'a array -> unit
+(** Wait-free batch enqueue: reserves [Array.length vs] consecutive
+    cells with a {e single} FAA on the tail index — the amortization
+    the paper's one-FAA-per-op hot path suggests — then deposits each
+    value with the fast-path CAS, falling back to the per-cell
+    slow path ({!Internal.enq_slow}) for any cell poisoned in the
+    meantime.  Wait-free cell by cell for the same reason single
+    enqueues are.  The batch is {b not atomic}: each value is a
+    separate enqueue whose linearization point falls somewhere in the
+    call's interval, in cell (= FIFO) order on the uncontended path.
+    A zero-length batch is a no-op (no FAA). *)
+
+val deq_batch : 'a t -> 'a handle -> int -> 'a option array
+(** Wait-free batch dequeue: reserves [k] consecutive cells with one
+    FAA on the head index and resolves each like a fast-path dequeue
+    (help the enqueue, claim the value), falling back to the per-cell
+    slow path on interference.  Returns exactly [k] slots in cell
+    order; [None] slots are EMPTY observations (the queue had fewer
+    than [k] values when the tickets were taken — batched consumers
+    should size [k] from {!approx_length} to avoid burning empty
+    tickets).  Not atomic, same contract as {!enq_batch}.  [k <= 0]
+    returns [[||]] without consuming tickets. *)
+
 val push : 'a t -> 'a -> unit
 (** {!enqueue} with a per-domain handle managed internally.  The hot
     path is lock-free: a domain-local cache lookup plus one atomic

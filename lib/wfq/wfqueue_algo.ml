@@ -1038,6 +1038,105 @@ let dequeue q h =
   v
 
 (* ------------------------------------------------------------------ *)
+(* Batch operations: one FAA reserves k consecutive cells             *)
+
+(* The batch paths live in their own functions so the single-operation
+   hot path above is byte-identical with or without them (the bench
+   gate's compile-out check).  Safety piggybacks on the single-op
+   protocol: a reserved cell that cannot complete on its fast attempt
+   falls back to the per-cell slow path, so helping and wait-freedom
+   hold cell by cell exactly as for k = 1.  The hazard pointer
+   published before the FAA covers every reserved cell: cell ids only
+   grow past the protected segment, and cleanup never reclaims at or
+   beyond a live hazard pointer. *)
+
+let enq_batch q h vs =
+  let k = Array.length vs in
+  if k > 0 then begin
+    ignore (protect_pointer h h.tail);
+    let first = A.fetch_and_add q.tail_index k in
+    (* k tail tickets are consumed and none of the values deposited:
+       the widest abandoned window the algorithm can create.  Dying
+       here abandons all k cells to the dequeuers' help_enq, which
+       poisons them one by one. *)
+    if I.enabled then I.hit Inject.Enq_batch_after_faa;
+    if P.enabled then begin
+      h.stats.enq_batches <- h.stats.enq_batches + 1;
+      h.stats.enq_batch_cells <- h.stats.enq_batch_cells + k
+    end;
+    let sp = ref (A.get h.tail) in
+    for j = 0 to k - 1 do
+      let i = first + j in
+      let s = find_cell ~who:"enq_batch" q sp i in
+      A.set h.tail s;
+      if A.compare_and_set s.values.(i land q.seg_mask) Bottom (Value vs.(j)) then
+        h.stats.fast_enqueues <- h.stats.fast_enqueues + 1
+      else begin
+        (* the cell was poisoned while we worked through the batch:
+           per-cell fallback, with no patience retry — the ticket is
+           already ours and a retry would burn a fresh one *)
+        if P.enabled then begin
+          h.stats.enq_cas_failures <- h.stats.enq_cas_failures + 1;
+          h.stats.enq_batch_fallbacks <- h.stats.enq_batch_fallbacks + 1
+        end;
+        enq_slow q h vs.(j) i;
+        h.stats.slow_enqueues <- h.stats.slow_enqueues + 1;
+        sp := A.get h.tail
+      end
+    done;
+    A.set h.hzdp q.null_segment
+  end
+
+let deq_batch q h k =
+  if k <= 0 then [||]
+  else begin
+    ignore (protect_pointer h h.head);
+    let first = A.fetch_and_add q.head_index k in
+    (* k head tickets consumed, no cell helped or claimed yet: dying
+       here can strand up to k values (dequeue-then-crash, k times) *)
+    if I.enabled then I.hit Inject.Deq_batch_after_faa;
+    if P.enabled then begin
+      h.stats.deq_batches <- h.stats.deq_batches + 1;
+      h.stats.deq_batch_cells <- h.stats.deq_batch_cells + k
+    end;
+    let out = Array.make k None in
+    let got = ref false in
+    let sp = ref (A.get h.head) in
+    for j = 0 to k - 1 do
+      let i = first + j in
+      let s = find_cell ~who:"deq_batch" q sp i in
+      A.set h.head s;
+      (match help_enq q h s i with
+      | Henq_empty ->
+        h.stats.fast_dequeues <- h.stats.fast_dequeues + 1;
+        h.stats.empty_dequeues <- h.stats.empty_dequeues + 1
+      | Henq_value v when A.compare_and_set s.deqs.(i land q.seg_mask) Deq_bottom Deq_top ->
+        h.stats.fast_dequeues <- h.stats.fast_dequeues + 1;
+        out.(j) <- Some v;
+        got := true
+      | Henq_value _ | Henq_top ->
+        if P.enabled then begin
+          h.stats.deq_cas_failures <- h.stats.deq_cas_failures + 1;
+          h.stats.deq_batch_fallbacks <- h.stats.deq_batch_fallbacks + 1
+        end;
+        let v = deq_slow q h i in
+        h.stats.slow_dequeues <- h.stats.slow_dequeues + 1;
+        (match v with
+        | None -> h.stats.empty_dequeues <- h.stats.empty_dequeues + 1
+        | Some _ -> got := true);
+        out.(j) <- v;
+        sp := A.get h.head)
+    done;
+    if !got then begin
+      help_deq q h h.deq_peer;
+      h.deq_peer <- next_live_handle h.deq_peer
+    end;
+    A.set h.hzdp q.null_segment;
+    if q.reclamation then cleanup q h;
+    out
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Implicit per-domain handles                                        *)
 
 (* The push/pop hot path: one domain-local read plus one atomic load

@@ -139,6 +139,55 @@ let test_park_storm cls () =
     Alcotest.failf "no %s park ever fired across the sweep: dead injection points?"
       (Inject.class_name cls)
 
+(* The generic storm churns single ops, so the batch windows need
+   their own sweep: 4 fibers exchanging 3-value batches while two of
+   them park right after their batch FAA — the window where k cells
+   are reserved but none written (enqueue) or claimed (dequeue).
+   Parking there stalls nobody and conserves values exactly: the
+   per-cell fallback gives every survivor touching a reserved cell a
+   wait-free way past it. *)
+let test_batch_park_storm () =
+  sim_park ();
+  Inject.reset_stats ();
+  let points = Inject.points_of_class Inject.Batch in
+  for seed = 1 to 150 do
+    let plan =
+      Inject.Plan.make ~park:6 ~arm_window:1 ~points ~seed:(Int64.of_int (seed * 7919)) ()
+    in
+    Inject.with_controller
+      (fun p -> if Sim.current_fiber () <= 1 then Inject.Plan.decide plan p else Inject.Continue)
+      (fun () ->
+        let q = aggressive_queue () in
+        let h = Array.init 4 (fun _ -> Q.register q) in
+        let got = ref [] in
+        let actor i () =
+          for r = 0 to 1 do
+            Q.enq_batch q h.(i) (Array.init 3 (fun j -> (i * 100) + (r * 10) + j));
+            Array.iter
+              (function Some v -> got := v :: !got | None -> ())
+              (Q.deq_batch q h.(i) 3)
+          done
+        in
+        ignore (run_ok ~seed [| actor 0; actor 1; actor 2; actor 3 |]);
+        let rest = drain q h.(0) in
+        let expect =
+          List.concat_map
+            (fun i ->
+              List.concat_map (fun r -> List.init 3 (fun j -> (i * 100) + (r * 10) + j)) [ 0; 1 ])
+            [ 0; 1; 2; 3 ]
+        in
+        check
+          Alcotest.(list int)
+          (Printf.sprintf "batch seed %d: parked batch storm conserves values" seed)
+          (List.sort compare expect)
+          (List.sort compare (!got @ rest)))
+  done;
+  let fired =
+    List.fold_left (fun acc p -> acc + (Inject.stats p).Inject.parks) 0 points
+  in
+  if fired = 0 then
+    Alcotest.fail "no batch park ever fired across the sweep: dead injection points?"
+
 (* ------------------------------------------------------------------ *)
 (* Die storms: crashed threads strand at most one value, never
    duplicate one, and survivors always finish                        *)
@@ -210,6 +259,96 @@ let test_kill_storm () =
   done;
   if !total_kills = 0 then
     Alcotest.fail "no kill ever fired across 400 seeds: lethal plans are dead code?"
+
+(* Dying right after a batch FAA is the widest crash window the queue
+   has: k tickets are reserved in one blow and none of the k cells is
+   written/claimed yet.  A dead batch enqueuer abandons k cells that
+   dequeuers must be able to skip; a dead batch dequeuer burns k head
+   tickets whose cells' values are stranded forever.  So the stranding
+   bound scales with the batch: missing <= kills * batch — and
+   duplication stays impossible (the per-cell claim CASes are
+   unchanged). *)
+let test_batch_kill_storm () =
+  sim_park ();
+  let total_kills = ref 0 in
+  let batch = 3 in
+  let rounds = 3 in
+  for seed = 1 to 300 do
+    Inject.reset_stats ();
+    let plan =
+      Inject.Plan.make ~lethal:true ~arm_window:1
+        ~points:[ Inject.Enq_batch_after_faa; Inject.Deq_batch_after_faa ]
+        ~seed:(Int64.of_int (seed * 17)) ()
+    in
+    Inject.with_controller
+      (fun p -> if Sim.current_fiber () = 0 then Inject.Plan.decide plan p else Inject.Continue)
+      (fun () ->
+        let q = aggressive_queue () in
+        let h = Array.init 3 (fun _ -> Q.register q) in
+        let got = ref [] in
+        let committed = ref [] in
+        (* values of the batch in flight when the kill lands: reserved
+           cells are never written past the injection point, but a
+           future refactor moving the point after partial writes would
+           make them legitimately appear (at most once) *)
+        let in_flight = ref [] in
+        let victim () =
+          try
+            for r = 0 to rounds - 1 do
+              let vs = Array.init batch (fun j -> 100 + (r * 10) + j) in
+              in_flight := Array.to_list vs;
+              Q.enq_batch q h.(0) vs;
+              Array.iter (fun v -> committed := v :: !committed) vs;
+              in_flight := [];
+              Array.iter
+                (function Some v -> got := v :: !got | None -> ())
+                (Q.deq_batch q h.(0) batch)
+            done
+          with Inject.Killed _ -> Q.retire q h.(0)
+        in
+        let survivor i () =
+          for r = 0 to rounds - 1 do
+            Q.enq_batch q h.(i) (Array.init batch (fun j -> (i * 1000) + (r * 10) + j));
+            Array.iter
+              (function Some v -> got := v :: !got | None -> ())
+              (Q.deq_batch q h.(i) batch)
+          done
+        in
+        ignore (run_ok ~seed [| victim; survivor 1; survivor 2 |]);
+        let all = List.sort compare (!got @ drain q h.(1)) in
+        let kills = (Inject.total_stats ()).Inject.kills in
+        total_kills := !total_kills + kills;
+        let rec no_dup = function
+          | a :: (b :: _ as tl) ->
+            if a = b then Alcotest.failf "seed %d: value %d dequeued twice" seed a;
+            no_dup tl
+          | _ -> ()
+        in
+        no_dup all;
+        let definite =
+          !committed
+          @ List.concat_map
+              (fun i ->
+                List.concat_map
+                  (fun r -> List.init batch (fun j -> (i * 1000) + (r * 10) + j))
+                  (List.init rounds Fun.id))
+              [ 1; 2 ]
+        in
+        List.iter
+          (fun v ->
+            if not (List.mem v definite || List.mem v !in_flight) then
+              Alcotest.failf "seed %d: alien value %d" seed v)
+          all;
+        let missing =
+          List.length (List.filter (fun v -> not (List.mem v all)) definite)
+        in
+        if missing > kills * batch then
+          Alcotest.failf
+            "seed %d: %d values missing but %d kills x batch %d (each kill strands <= batch)"
+            seed missing kills batch)
+  done;
+  if !total_kills = 0 then
+    Alcotest.fail "no batch kill ever fired across 300 seeds: lethal batch plans are dead code?"
 
 (* A dead slow-path enqueuer's published request is completed by
    helpers: the value it announced still flows to a dequeuer. *)
@@ -450,10 +589,12 @@ let () =
             Alcotest.test_case
               (Printf.sprintf "2-of-4 parked at %s points" (Inject.class_name cls))
               `Quick (test_park_storm cls))
-          [ Inject.Enqueue; Inject.Dequeue; Inject.Helping; Inject.Cleanup; Inject.Hazard ] );
+          [ Inject.Enqueue; Inject.Dequeue; Inject.Helping; Inject.Cleanup; Inject.Hazard ]
+        @ [ Alcotest.test_case "2-of-4 parked at batch points" `Quick test_batch_park_storm ] );
       ( "kill-storms",
         [
           Alcotest.test_case "crashes strand <=1 value, never duplicate" `Quick test_kill_storm;
+          Alcotest.test_case "batch crashes strand <= batch values" `Quick test_batch_kill_storm;
           Alcotest.test_case "helpers complete a dead enqueuer's request" `Quick
             test_helping_completes_dead_enqueuer;
           Alcotest.test_case "dead dequeuer strands at most one value" `Quick
