@@ -231,6 +231,19 @@ let () =
   let ops_per_domain = if cli.smoke then 500_000 else 2_000_000 in
   let _, fs_results = Harness.False_sharing.experiment ~ops_per_domain () in
 
+  (* Allocations per operation: deterministic single-threaded
+     steady-state rows (the regression gate pins every row's words/op;
+     see Harness.Alloc_bench for why these, not the noisy concurrent
+     telemetry numbers, feed the gate) *)
+  print_endline "\n== Allocations per operation (steady state, minor words) ==";
+  let alloc_rows =
+    Harness.Alloc_bench.default_rows
+      ~warmup_pairs:(if cli.smoke then 60_000 else 120_000)
+      ~pairs:(if cli.smoke then 20_000 else 50_000)
+      ()
+  in
+  Format.printf "%a@?" Harness.Alloc_bench.pp_rows alloc_rows;
+
   (* Wait-freedom telemetry: the instrumented build's fast/slow-path
      breakdown across patience values (the regression gate reads the
      patience-10 row's slow-path rate from the JSON) *)
@@ -262,6 +275,7 @@ let () =
           ("bechamel_pair", json_of_bechamel bechamel_estimates);
           ("figure2_pairs", json_of_fig2 fig2_pairs);
           ("false_sharing", json_of_false_sharing fs_results);
+          ("alloc_per_op", Harness.Alloc_bench.rows_to_json alloc_rows);
           ("telemetry", Harness.Telemetry.table_to_json telemetry_rows);
         ]
     in

@@ -4,7 +4,7 @@
      bench_gate --baseline BENCH_pr3.json --current BENCH_smoke.json
 
    Exit 0: every check passed.
-   Exit 1: at least one throughput or slow-path-rate check failed.
+   Exit 1: at least one throughput, slow-path-rate or alloc/op check failed.
    Exit 2: a document was missing/unreadable/structurally unusable —
            deliberately distinct from 1 so CI logs distinguish "the
            queue got slower" from "the harness broke". *)
@@ -39,7 +39,25 @@ let patience_arg =
     & opt int Harness.Gate.default_slow_rate_patience
     & info [ "patience" ] ~docv:"N" ~doc)
 
-let run baseline_path current_path noise_mult rel_floor max_slow_rate slow_rate_patience =
+let alloc_ceiling_arg =
+  let doc =
+    "Absolute allocations-per-op allowance (minor words) for rows whose baseline is \
+     (near) zero."
+  in
+  Arg.(
+    value
+    & opt float Harness.Gate.default_alloc_ceiling
+    & info [ "alloc-ceiling" ] ~docv:"WORDS" ~doc)
+
+let alloc_margin_arg =
+  let doc = "Maximum allocations-per-op drift (minor words) over the baseline row." in
+  Arg.(
+    value
+    & opt float Harness.Gate.default_alloc_margin
+    & info [ "alloc-margin" ] ~docv:"WORDS" ~doc)
+
+let run baseline_path current_path noise_mult rel_floor max_slow_rate slow_rate_patience
+    alloc_ceiling alloc_margin =
   let load what path =
     match Harness.Json.load ~path with
     | Ok doc -> doc
@@ -51,7 +69,7 @@ let run baseline_path current_path noise_mult rel_floor max_slow_rate slow_rate_
   let current = load "current" current_path in
   match
     Harness.Gate.compare_docs ~noise_mult ~rel_floor ~max_slow_rate ~slow_rate_patience
-      ~baseline ~current ()
+      ~alloc_ceiling ~alloc_margin ~baseline ~current ()
   with
   | Error msg ->
     Printf.eprintf "bench_gate: %s\n" msg;
@@ -71,11 +89,14 @@ let run baseline_path current_path noise_mult rel_floor max_slow_rate slow_rate_
 
 let () =
   let info =
-    Cmd.info "bench_gate" ~doc:"Fail CI when smoke-bench throughput or wait-freedom regresses"
+    Cmd.info "bench_gate"
+      ~doc:
+        "Fail CI when smoke-bench throughput, wait-freedom or allocations-per-op \
+         regresses"
   in
   exit
     (Cmd.eval
        (Cmd.v info
           Term.(
             const run $ baseline_arg $ current_arg $ noise_mult_arg $ rel_floor_arg
-            $ max_slow_rate_arg $ patience_arg)))
+            $ max_slow_rate_arg $ patience_arg $ alloc_ceiling_arg $ alloc_margin_arg)))

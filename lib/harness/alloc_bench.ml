@@ -1,0 +1,101 @@
+(* See alloc_bench.mli. *)
+
+type row = {
+  aname : string;
+  pairs : int;
+  via_dequeue_or : bool;
+  words_per_enqueue : float;
+  words_per_dequeue : float;
+  words_per_op : float;
+}
+
+let measure ?(warmup_pairs = 60_000) ?(pairs = 20_000) ?(via_dequeue_or = false)
+    (factory : Queues.factory) =
+  let instance = factory.Queues.make () in
+  let ops = instance.Queues.register () in
+  (* drive the queue into its recycling steady state: enough pairs to
+     cross several cleanup thresholds (max_garbage segments each) and
+     fill the segment pool, so the measured window is served from the
+     pool, not from fresh segment allocation *)
+  if via_dequeue_or then
+    for i = 0 to warmup_pairs - 1 do
+      ops.Queues.enqueue i;
+      ignore (ops.Queues.dequeue_or min_int)
+    done
+  else
+    for i = 0 to warmup_pairs - 1 do
+      ops.Queues.enqueue i;
+      ignore (ops.Queues.dequeue ())
+    done;
+  let acc = Obs.Alloc_probe.create () in
+  (* per-op minor-words windows: the accumulator update (and the float
+     boxing of the delta argument) happens between windows, so the
+     meter never counts itself *)
+  if via_dequeue_or then
+    for i = 0 to pairs - 1 do
+      let w0 = Gc.minor_words () in
+      ops.Queues.enqueue i;
+      Obs.Alloc_probe.record acc Obs.Alloc_probe.Enqueue (Gc.minor_words () -. w0);
+      let w0 = Gc.minor_words () in
+      ignore (ops.Queues.dequeue_or min_int);
+      Obs.Alloc_probe.record acc Obs.Alloc_probe.Dequeue (Gc.minor_words () -. w0)
+    done
+  else
+    for i = 0 to pairs - 1 do
+      let w0 = Gc.minor_words () in
+      ops.Queues.enqueue i;
+      Obs.Alloc_probe.record acc Obs.Alloc_probe.Enqueue (Gc.minor_words () -. w0);
+      let w0 = Gc.minor_words () in
+      ignore (ops.Queues.dequeue ());
+      Obs.Alloc_probe.record acc Obs.Alloc_probe.Dequeue (Gc.minor_words () -. w0)
+    done;
+  ops.Queues.release ();
+  {
+    aname = factory.Queues.name;
+    pairs;
+    via_dequeue_or;
+    words_per_enqueue = Obs.Alloc_probe.words_per_enqueue acc;
+    words_per_dequeue = Obs.Alloc_probe.words_per_dequeue acc;
+    words_per_op = Obs.Alloc_probe.words_per_op acc;
+  }
+
+let default_rows ?warmup_pairs ?pairs () =
+  [
+    (* the generic option API: its words/op is the Some box, by design *)
+    measure ?warmup_pairs ?pairs (Queues.wf ~patience:10 ());
+    (* the same build through dequeue_or: the zero the CI gate pins *)
+    measure ?warmup_pairs ?pairs ~via_dequeue_or:true
+      (Queues.wf ~patience:10 ~name:"wf-10-deq-or" ());
+    (* instrumented build: the event tier must add no words *)
+    measure ?warmup_pairs ?pairs ~via_dequeue_or:true
+      (Queues.wf_obs ~patience:10 ~name:"wf-10-obs-deq-or" ());
+    (* the int facade end to end *)
+    measure ?warmup_pairs ?pairs ~via_dequeue_or:true (Queues.wf_int ~patience:10 ());
+  ]
+
+let row_to_json r =
+  Json.Obj
+    [
+      ("name", Json.String r.aname);
+      ("pairs", Json.Int r.pairs);
+      ("via_dequeue_or", Json.Bool r.via_dequeue_or);
+      ("words_per_enqueue", Json.Float r.words_per_enqueue);
+      ("words_per_dequeue", Json.Float r.words_per_dequeue);
+      ("words_per_op", Json.Float r.words_per_op);
+    ]
+
+let rows_to_json rows = Json.List (List.map row_to_json rows)
+
+let pp_rows fmt rows =
+  let line = String.make 66 '-' in
+  Format.fprintf fmt "%s@\n" line;
+  Format.fprintf fmt "%-18s %9s %5s %10s %10s %10s@\n" "queue" "pairs" "api" "w/enq" "w/deq"
+    "w/op";
+  Format.fprintf fmt "%s@\n" line;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-18s %9d %5s %10.4f %10.4f %10.4f@\n" r.aname r.pairs
+        (if r.via_dequeue_or then "or" else "opt")
+        r.words_per_enqueue r.words_per_dequeue r.words_per_op)
+    rows;
+  Format.fprintf fmt "%s@\n" line

@@ -43,10 +43,37 @@ let telemetry_slow_rate ~patience doc =
   Json.member "run" row >>= Json.member "snapshot" >>= Json.member "ops"
   >>= Json.member "slow_rate" >>= Json.to_float_opt
 
+type alloc_point = { aqueue : string; words_per_op : float }
+
+let alloc_points_of_doc doc =
+  match Json.member "alloc_per_op" doc with
+  | None -> Ok None
+  | Some rows -> (
+    match Json.to_list_opt rows with
+    | None -> Error "\"alloc_per_op\" is not an array"
+    | Some items ->
+      let parse i item =
+        let str k = Option.bind (Json.member k item) Json.to_string_opt in
+        let num k = Option.bind (Json.member k item) Json.to_float_opt in
+        match (str "name", num "words_per_op") with
+        | Some aqueue, Some words_per_op -> Ok { aqueue; words_per_op }
+        | _ -> Error (Printf.sprintf "alloc_per_op[%d]: missing or ill-typed field" i)
+      in
+      List.fold_left
+        (fun acc (i, item) ->
+          let* acc = acc in
+          let* p = parse i item in
+          Ok (p :: acc))
+        (Ok [])
+        (List.mapi (fun i item -> (i, item)) items)
+      |> Result.map (fun ps -> Some (List.rev ps)))
+
 let default_noise_mult = 3.0
 let default_rel_floor = 0.10
 let default_max_slow_rate = 1e-3
 let default_slow_rate_patience = 10
+let default_alloc_ceiling = 0.5
+let default_alloc_margin = 1.0
 
 let throughput_checks ~noise_mult ~rel_floor ~baseline_points ~current_points =
   List.filter_map
@@ -74,6 +101,30 @@ let throughput_checks ~noise_mult ~rel_floor ~baseline_points ~current_points =
           })
     baseline_points
 
+(* Allocation rule: current <= max(ceiling, baseline + margin).  The
+   ceiling is an absolute allowance for rows whose baseline is (near)
+   zero — a fraction-of-a-word measurement jitter must not trip the
+   gate — and the margin bounds drift on rows that legitimately
+   allocate (the option API's [Some] box).  Both defaults are well
+   under 2.0 words/op, so a regression that adds one box per operation
+   always fails. *)
+let alloc_checks ~alloc_ceiling ~alloc_margin ~baseline_points ~current_points =
+  List.map
+    (fun (b : alloc_point) ->
+      let key = Printf.sprintf "%s alloc/op" b.aqueue in
+      match List.find_opt (fun c -> c.aqueue = b.aqueue) current_points with
+      | None -> { label = key; ok = false; detail = "missing from current results" }
+      | Some c ->
+        let limit = Float.max alloc_ceiling (b.words_per_op +. alloc_margin) in
+        {
+          label = key;
+          ok = c.words_per_op <= limit;
+          detail =
+            Printf.sprintf "baseline %.4f words/op, current %.4f, limit %.4f"
+              b.words_per_op c.words_per_op limit;
+        })
+    baseline_points
+
 let slow_rate_check ~max_slow_rate ~patience current =
   match telemetry_slow_rate ~patience current with
   | None ->
@@ -91,12 +142,42 @@ let slow_rate_check ~max_slow_rate ~patience current =
 
 let compare_docs ?(noise_mult = default_noise_mult) ?(rel_floor = default_rel_floor)
     ?(max_slow_rate = default_max_slow_rate)
-    ?(slow_rate_patience = default_slow_rate_patience) ~baseline ~current () =
+    ?(slow_rate_patience = default_slow_rate_patience)
+    ?(alloc_ceiling = default_alloc_ceiling) ?(alloc_margin = default_alloc_margin)
+    ~baseline ~current () =
   let* baseline_points = points_of_doc baseline in
   let* current_points = points_of_doc current in
+  let* baseline_alloc = alloc_points_of_doc baseline in
+  let* current_alloc = alloc_points_of_doc current in
+  let alloc_cs =
+    match baseline_alloc with
+    | None ->
+      (* Pre-PR-6 baselines carry no alloc rows; the gate stays usable
+         against them (throughput checks only) and says so. *)
+      [
+        {
+          label = "alloc/op gate";
+          ok = true;
+          detail = "baseline has no \"alloc_per_op\" section; alloc checks skipped";
+        };
+      ]
+    | Some baseline_points -> (
+      match current_alloc with
+      | None ->
+        [
+          {
+            label = "alloc/op gate";
+            ok = false;
+            detail = "baseline has \"alloc_per_op\" but current results do not";
+          };
+        ]
+      | Some current_points ->
+        alloc_checks ~alloc_ceiling ~alloc_margin ~baseline_points ~current_points)
+  in
   let checks =
     throughput_checks ~noise_mult ~rel_floor ~baseline_points ~current_points
     @ [ slow_rate_check ~max_slow_rate ~patience:slow_rate_patience current ]
+    @ alloc_cs
   in
   Ok checks
 

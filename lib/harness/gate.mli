@@ -17,6 +17,17 @@
       [max_slow_rate] — the paper's §6 claim, downgraded from 1e-6 to
       a CI-safe 1e-3 because smoke runs on a loaded shared runner see
       real preemption.
+    - {b allocation}: for every row in the baseline's [alloc_per_op]
+      list (the deterministic {!Alloc_bench} numbers), the current
+      words/op must satisfy
+      [current <= max(alloc_ceiling, baseline + alloc_margin)].  The
+      ceiling absorbs fraction-of-a-word jitter on rows whose baseline
+      is zero; the margin bounds drift on rows that legitimately
+      allocate.  Both defaults are below 2.0 words/op, so a regression
+      that adds even one two-word box per operation fails.  A baseline
+      without [alloc_per_op] (pre-PR-6) skips these checks with an
+      explicit passing note; a current document missing the section
+      when the baseline has it fails.
 
     Logic only — [bin/bench_gate.exe] is the CLI around it. *)
 
@@ -24,8 +35,15 @@ type point = { queue : string; threads : int; mean : float; lower : float; upper
 
 type check = { label : string; ok : bool; detail : string }
 
+type alloc_point = { aqueue : string; words_per_op : float }
+
 val points_of_doc : Json.t -> (point list, string) result
 (** Extract [figure2_pairs] throughput points. *)
+
+val alloc_points_of_doc : Json.t -> (alloc_point list option, string) result
+(** Extract [alloc_per_op] rows.  [Ok None] when the document has no
+    such section (a pre-PR-6 baseline); [Error] only when the section
+    exists but is malformed. *)
 
 val telemetry_slow_rate : patience:int -> Json.t -> float option
 (** The telemetry block's slow-path rate at the given patience, if the
@@ -39,11 +57,17 @@ val default_max_slow_rate : float (** 1e-3 *)
 
 val default_slow_rate_patience : int (** 10 *)
 
+val default_alloc_ceiling : float (** 0.5 words/op — absolute allowance *)
+
+val default_alloc_margin : float (** 1.0 words/op — drift over baseline *)
+
 val compare_docs :
   ?noise_mult:float ->
   ?rel_floor:float ->
   ?max_slow_rate:float ->
   ?slow_rate_patience:int ->
+  ?alloc_ceiling:float ->
+  ?alloc_margin:float ->
   baseline:Json.t ->
   current:Json.t ->
   unit ->

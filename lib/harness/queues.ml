@@ -1,4 +1,23 @@
-type ops = { enqueue : int -> unit; dequeue : unit -> int option; release : unit -> unit }
+type ops = {
+  enqueue : int -> unit;
+  dequeue : unit -> int option;
+  dequeue_or : int -> int;
+  release : unit -> unit;
+}
+
+(* Build an [ops], deriving [dequeue_or] from the option-returning
+   dequeue when the implementation has no native one.  The derived
+   form still pays the implementation's [Some] box; queues with a real
+   word-returning path (the WF family since PR 6) pass [~dequeue_or]
+   so the alloc probe and the int-vs-boxed rows measure the genuine
+   allocation-free dequeue. *)
+let make_ops ?dequeue_or ~enqueue ~dequeue ~release () =
+  let dequeue_or =
+    match dequeue_or with
+    | Some f -> f
+    | None -> fun default -> ( match dequeue () with Some v -> v | None -> default)
+  in
+  { enqueue; dequeue; dequeue_or; release }
 
 type instance = {
   iname : string;
@@ -31,15 +50,16 @@ let wf ?(patience = 10) ?segment_shift ?max_garbage ?reclamation ?name () =
           register =
             (fun () ->
               let h = Wfq.Wfqueue.register q in
-              {
-                enqueue = (fun v -> Wfq.Wfqueue.enqueue q h v);
-                dequeue = (fun () -> Wfq.Wfqueue.dequeue q h);
-                (* retire so steady-state iterations on one instance
-                   measure the queue, not an ever-growing ring of dead
-                   handles; the next iteration's register recycles the
-                   slot *)
-                release = (fun () -> Wfq.Wfqueue.retire q h);
-              });
+              (* retire on release so steady-state iterations on one
+                 instance measure the queue, not an ever-growing ring
+                 of dead handles; the next iteration's register
+                 recycles the slot *)
+              make_ops
+                ~enqueue:(fun v -> Wfq.Wfqueue.enqueue q h v)
+                ~dequeue:(fun () -> Wfq.Wfqueue.dequeue q h)
+                ~dequeue_or:(fun d -> Wfq.Wfqueue.dequeue_or q h d)
+                ~release:(fun () -> Wfq.Wfqueue.retire q h)
+                ());
           op_stats = (fun () -> Some (Wfq.Wfqueue.stats q));
           reset_op_stats = (fun () -> Wfq.Wfqueue.reset_stats q);
           snapshot = (fun () -> Some (Wfq.Wfqueue.snapshot q));
@@ -67,14 +87,52 @@ let wf_obs ?(patience = 10) ?segment_shift ?max_garbage ?reclamation ?name () =
           register =
             (fun () ->
               let h = Wfq.Wfqueue_obs.register q in
-              {
-                enqueue = (fun v -> Wfq.Wfqueue_obs.enqueue q h v);
-                dequeue = (fun () -> Wfq.Wfqueue_obs.dequeue q h);
-                release = (fun () -> Wfq.Wfqueue_obs.retire q h);
-              });
+              make_ops
+                ~enqueue:(fun v -> Wfq.Wfqueue_obs.enqueue q h v)
+                ~dequeue:(fun () -> Wfq.Wfqueue_obs.dequeue q h)
+                ~dequeue_or:(fun d -> Wfq.Wfqueue_obs.dequeue_or q h d)
+                ~release:(fun () -> Wfq.Wfqueue_obs.retire q h)
+                ());
           op_stats = (fun () -> Some (Wfq.Wfqueue_obs.stats q));
           reset_op_stats = (fun () -> Wfq.Wfqueue_obs.reset_stats q);
           snapshot = (fun () -> Some (Wfq.Wfqueue_obs.snapshot q));
+        });
+  }
+
+(* The int-specialized facade ([Wfqueue_int]): same compiled queue as
+   [wf], but the per-domain ops route dequeues through the
+   allocation-free [dequeue_or] (EMPTY = min_int sentinel, outside the
+   bench payload domain of small non-negative ints) and wrap the
+   option only when a caller insists on [dequeue].  Benched against
+   [wf] to price the generic API's option box — the last hot-path
+   allocation the PR-6 audit left by design. *)
+let wf_int ?(patience = 10) ?segment_shift ?max_garbage ?reclamation ?name () =
+  let name = match name with Some n -> n | None -> Printf.sprintf "wf-int-%d" patience in
+  {
+    name;
+    description =
+      Printf.sprintf "wait-free queue, int-specialized API (patience %d, no option box)"
+        patience;
+    is_real_queue = true;
+    make =
+      (fun () ->
+        let q = Wfq.Wfqueue_int.create ~patience ?segment_shift ?max_garbage ?reclamation () in
+        {
+          iname = name;
+          register =
+            (fun () ->
+              let h = Wfq.Wfqueue_int.register q in
+              make_ops
+                ~enqueue:(fun v -> Wfq.Wfqueue_int.enqueue q h v)
+                ~dequeue:(fun () ->
+                  let v = Wfq.Wfqueue_int.dequeue_or q h min_int in
+                  if v = min_int then None else Some v)
+                ~dequeue_or:(fun d -> Wfq.Wfqueue_int.dequeue_or q h d)
+                ~release:(fun () -> Wfq.Wfqueue_int.retire q h)
+                ());
+          op_stats = (fun () -> Some (Wfq.Wfqueue_int.stats q));
+          reset_op_stats = (fun () -> Wfq.Wfqueue_int.reset_stats q);
+          snapshot = (fun () -> Some (Wfq.Wfqueue_int.snapshot q));
         });
   }
 
@@ -97,11 +155,11 @@ let wf_shard ?(shards = 2) ?(patience = 10) ?capacity ?rebalance_every ?name () 
           register =
             (fun () ->
               let h = Shard.Wf.register t in
-              {
-                enqueue = (fun v -> Shard.Wf.enqueue t h v);
-                dequeue = (fun () -> Shard.Wf.dequeue t h);
-                release = (fun () -> Shard.Wf.retire t h);
-              });
+              make_ops
+                ~enqueue:(fun v -> Shard.Wf.enqueue t h v)
+                ~dequeue:(fun () -> Shard.Wf.dequeue t h)
+                ~release:(fun () -> Shard.Wf.retire t h)
+                ());
           op_stats = (fun () -> Some (Shard.Wf.snapshot t).Obs.Snapshot.ops);
           reset_op_stats = (fun () -> Shard.Wf.reset_stats t);
           snapshot = (fun () -> Some (Shard.Wf.snapshot t));
@@ -138,14 +196,12 @@ let wf_batch ?(batch = 8) ?(patience = 10) ?name () =
                   out_len := 0
                 end
               in
-              {
-                enqueue =
-                  (fun v ->
+              make_ops
+                ~enqueue:(fun v ->
                     outbuf.(!out_len) <- v;
                     incr out_len;
-                    if !out_len = batch then flush ());
-                dequeue =
-                  (fun () ->
+                    if !out_len = batch then flush ())
+                ~dequeue:(fun () ->
                     if not (Queue.is_empty prefetch) then Some (Queue.pop prefetch)
                     else begin
                       (* publish our own pending values first so a
@@ -161,9 +217,8 @@ let wf_batch ?(batch = 8) ?(patience = 10) ?name () =
                         (function Some v -> Queue.push v prefetch | None -> ())
                         out;
                       if Queue.is_empty prefetch then None else Some (Queue.pop prefetch)
-                    end);
-                release =
-                  (fun () ->
+                    end)
+                ~release:(fun () ->
                     (* conservation across release: publish buffered
                        values and return prefetched-but-unconsumed
                        ones *)
@@ -174,8 +229,8 @@ let wf_batch ?(batch = 8) ?(patience = 10) ?name () =
                       in
                       Wfq.Wfqueue.enq_batch q h leftovers
                     end;
-                    Wfq.Wfqueue.retire q h);
-              });
+                    Wfq.Wfqueue.retire q h)
+                ());
           op_stats = (fun () -> Some (Wfq.Wfqueue.stats q));
           reset_op_stats = (fun () -> Wfq.Wfqueue.reset_stats q);
           snapshot = (fun () -> Some (Wfq.Wfqueue.snapshot q));
@@ -207,55 +262,50 @@ let lcrq ?(ring_size = 4096) () =
       let q = Baselines.Lcrq.create ~ring_size () in
       fun () ->
         let h = Baselines.Lcrq.register q in
-        {
-          enqueue = (fun v -> Baselines.Lcrq.enqueue q h v);
-          dequeue = (fun () -> Baselines.Lcrq.dequeue q h);
-          release = ignore;
-        })
+        make_ops
+          ~enqueue:(fun v -> Baselines.Lcrq.enqueue q h v)
+          ~dequeue:(fun () -> Baselines.Lcrq.dequeue q h)
+          ~release:ignore ())
 
 let ccqueue =
   simple "ccqueue" "CC-Queue, combining (blocking)" true (fun () ->
       let q = Baselines.Ccqueue.create () in
       fun () ->
         let h = Baselines.Ccqueue.register q in
-        {
-          enqueue = (fun v -> Baselines.Ccqueue.enqueue q h v);
-          dequeue = (fun () -> Baselines.Ccqueue.dequeue q h);
-          release = ignore;
-        })
+        make_ops
+          ~enqueue:(fun v -> Baselines.Ccqueue.enqueue q h v)
+          ~dequeue:(fun () -> Baselines.Ccqueue.dequeue q h)
+          ~release:ignore ())
 
 let msqueue =
   simple "msqueue" "Michael-Scott queue (lock-free)" true (fun () ->
       let q = Baselines.Msqueue.create () in
       fun () ->
         let h = Baselines.Msqueue.register q in
-        {
-          enqueue = (fun v -> Baselines.Msqueue.enqueue q h v);
-          dequeue = (fun () -> Baselines.Msqueue.dequeue q h);
-          release = ignore;
-        })
+        make_ops
+          ~enqueue:(fun v -> Baselines.Msqueue.enqueue q h v)
+          ~dequeue:(fun () -> Baselines.Msqueue.dequeue q h)
+          ~release:ignore ())
 
 let two_lock =
   simple "two-lock" "Michael-Scott two-lock queue (blocking)" true (fun () ->
       let q = Baselines.Two_lock_queue.create () in
       fun () ->
         let h = Baselines.Two_lock_queue.register q in
-        {
-          enqueue = (fun v -> Baselines.Two_lock_queue.enqueue q h v);
-          dequeue = (fun () -> Baselines.Two_lock_queue.dequeue q h);
-          release = ignore;
-        })
+        make_ops
+          ~enqueue:(fun v -> Baselines.Two_lock_queue.enqueue q h v)
+          ~dequeue:(fun () -> Baselines.Two_lock_queue.dequeue q h)
+          ~release:ignore ())
 
 let mutex =
   simple "mutex" "global mutex around Stdlib.Queue (blocking)" true (fun () ->
       let q = Baselines.Mutex_queue.create () in
       fun () ->
         let h = Baselines.Mutex_queue.register q in
-        {
-          enqueue = (fun v -> Baselines.Mutex_queue.enqueue q h v);
-          dequeue = (fun () -> Baselines.Mutex_queue.dequeue q h);
-          release = ignore;
-        })
+        make_ops
+          ~enqueue:(fun v -> Baselines.Mutex_queue.enqueue q h v)
+          ~dequeue:(fun () -> Baselines.Mutex_queue.dequeue q h)
+          ~release:ignore ())
 
 let wf_llsc =
   simple "wf-llsc" "wait-free queue with CAS-emulated FAA (the paper's Power7 setup; lock-free)"
@@ -263,39 +313,38 @@ let wf_llsc =
       let q = Wfq.Wfqueue_llsc.create () in
       fun () ->
         let h = Wfq.Wfqueue_llsc.register q in
-        {
-          enqueue = (fun v -> Wfq.Wfqueue_llsc.enqueue q h v);
-          dequeue = (fun () -> Wfq.Wfqueue_llsc.dequeue q h);
-          release = (fun () -> Wfq.Wfqueue_llsc.retire q h);
-        })
+        make_ops
+          ~enqueue:(fun v -> Wfq.Wfqueue_llsc.enqueue q h v)
+          ~dequeue:(fun () -> Wfq.Wfqueue_llsc.dequeue q h)
+          ~dequeue_or:(fun d -> Wfq.Wfqueue_llsc.dequeue_or q h d)
+          ~release:(fun () -> Wfq.Wfqueue_llsc.retire q h) ())
 
 let kp_queue =
   simple "kp" "Kogan-Petrank queue (wait-free, phase-based helping)" true (fun () ->
       let q = Baselines.Kp_queue.create ~max_threads:32 () in
       fun () ->
         let h = Baselines.Kp_queue.register q in
-        {
-          enqueue = (fun v -> Baselines.Kp_queue.enqueue q h v);
-          dequeue = (fun () -> Baselines.Kp_queue.dequeue q h);
-          release = ignore;
-        })
+        make_ops
+          ~enqueue:(fun v -> Baselines.Kp_queue.enqueue q h v)
+          ~dequeue:(fun () -> Baselines.Kp_queue.dequeue q h)
+          ~release:ignore ())
 
 let faa =
   simple "faa" "FAA microbenchmark (throughput upper bound, not a queue)" false (fun () ->
       let q = Baselines.Faa_bench.create () in
       fun () ->
         let h = Baselines.Faa_bench.register q in
-        {
-          enqueue = (fun v -> Baselines.Faa_bench.enqueue q h v);
-          dequeue = (fun () -> Baselines.Faa_bench.dequeue q h);
-          release = ignore;
-        })
+        make_ops
+          ~enqueue:(fun v -> Baselines.Faa_bench.enqueue q h v)
+          ~dequeue:(fun () -> Baselines.Faa_bench.dequeue q h)
+          ~release:ignore ())
 
 let all =
   [
     wf ~patience:10 ();
     wf ~patience:0 ();
     wf_obs ~patience:10 ();
+    wf_int ~patience:10 ();
     wf_shard ~shards:2 ();
     wf_shard ~shards:8 ();
     wf_batch ~batch:8 ();
@@ -313,6 +362,7 @@ let figure2_set =
   [
     wf ~patience:10 ();
     wf ~patience:0 ();
+    wf_int ~patience:10 ();
     wf_shard ~shards:2 ();
     wf_shard ~shards:8 ();
     wf_batch ~batch:8 ();

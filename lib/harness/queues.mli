@@ -8,12 +8,28 @@
 type ops = {
   enqueue : int -> unit;
   dequeue : unit -> int option;
+  dequeue_or : int -> int;
+      (* dequeue with an EMPTY default instead of the [Some] box.
+         Native (allocation-free) for the WF family; derived from
+         [dequeue] — same boxing, different shape — for baselines
+         without a word-returning path, so alloc comparisons across
+         [dequeue_or] are only meaningful for queues advertising it *)
   release : unit -> unit;
       (* handle retirement hook: called by the runner when the owning
          domain is done, so implementations with registration (the WF
          queues) can retire the handle and recycle its ring slot; a
          no-op for the other baselines *)
 }
+
+val make_ops :
+  ?dequeue_or:(int -> int) ->
+  enqueue:(int -> unit) ->
+  dequeue:(unit -> int option) ->
+  release:(unit -> unit) ->
+  unit ->
+  ops
+(** Assemble an {!ops}, deriving [dequeue_or] from [dequeue] (option
+    round trip included) when no native one is given. *)
 
 type instance = {
   iname : string;
@@ -42,6 +58,13 @@ val wf_obs : ?patience:int -> ?segment_shift:int -> ?max_garbage:int -> ?reclama
     probe's event tier is compiled in.  Its throughput delta against
     {!wf} is the measured cost of instrumentation. *)
 
+val wf_int : ?patience:int -> ?segment_shift:int -> ?max_garbage:int -> ?reclamation:bool ->
+  ?name:string -> unit -> factory
+(** The int-specialized facade ([Wfq.Wfqueue_int]): same compiled
+    queue as {!wf}, with dequeues routed through the allocation-free
+    [dequeue_or] (EMPTY = [min_int]).  Its delta against {!wf} prices
+    the generic API's option box. *)
+
 val wf_shard :
   ?shards:int ->
   ?patience:int ->
@@ -63,8 +86,9 @@ val wf_batch : ?batch:int -> ?patience:int -> ?name:string -> unit -> factory
     trade of the batching deployment shape. *)
 
 val all : factory list
-(** The evaluation set: wf-10, wf-0, wf-10-obs (instrumented),
-    wf-shard-2/8 (sharded router), wf-batch-8 (FAA batching), wf-llsc
+(** The evaluation set: wf-10, wf-0, wf-10-obs (instrumented), wf-int-10
+    (int-specialized API), wf-shard-2/8 (sharded router), wf-batch-8
+    (FAA batching), wf-llsc
     (CAS-emulated FAA, the paper's Power7 configuration), lcrq,
     ccqueue, msqueue, kp (Kogan-Petrank), two-lock, mutex, faa. *)
 

@@ -7,25 +7,43 @@ type run_result = {
   mops : float;
   snapshot : Obs.Snapshot.t option;
   latency : Obs.Op_latency.t;
+  alloc : Obs.Alloc_probe.t;
 }
 
-let timed_ops (ops : Queues.ops) (lat : Obs.Op_latency.t) =
-  let time cls f =
+(* Wrap each operation in a latency window and a minor-words window.
+   Window nesting matters: the [Int64] clock reads box, so the alloc
+   window ([Gc.minor_words] before/after the bare operation) sits
+   strictly inside the latency window — the meter's own bookkeeping
+   lands outside what it measures.  Concurrent runs include the real
+   contention effects (segment churn, helping), so these are
+   whole-system words/op; the deterministic steady-state number the CI
+   gate pins comes from [Alloc_bench]. *)
+let timed_ops (ops : Queues.ops) (lat : Obs.Op_latency.t) (alloc : Obs.Alloc_probe.t) =
+  let time cls acls f =
     let t0 = Primitives.Clock.now_ns () in
+    let w0 = Gc.minor_words () in
     let r = f () in
+    let w1 = Gc.minor_words () in
     let t1 = Primitives.Clock.now_ns () in
+    Obs.Alloc_probe.record alloc acls (w1 -. w0);
     Obs.Op_latency.record lat (cls r) (Int64.to_float (Int64.sub t1 t0));
     r
   in
-  {
-    Queues.enqueue = (fun v -> time (fun () -> Obs.Op_latency.Enqueue) (fun () -> ops.Queues.enqueue v));
-    dequeue =
-      (fun () ->
-        time
-          (function Some _ -> Obs.Op_latency.Dequeue | None -> Obs.Op_latency.Dequeue_empty)
-          (fun () -> ops.Queues.dequeue ()));
-    release = ops.Queues.release;
-  }
+  Queues.make_ops
+    ~enqueue:(fun v ->
+      time (fun () -> Obs.Op_latency.Enqueue) Obs.Alloc_probe.Enqueue (fun () ->
+          ops.Queues.enqueue v))
+    ~dequeue:(fun () ->
+      time
+        (function Some _ -> Obs.Op_latency.Dequeue | None -> Obs.Op_latency.Dequeue_empty)
+        Obs.Alloc_probe.Dequeue
+        (fun () -> ops.Queues.dequeue ()))
+    ~dequeue_or:(fun d ->
+      time
+        (fun r -> if r = d then Obs.Op_latency.Dequeue_empty else Obs.Op_latency.Dequeue)
+        Obs.Alloc_probe.Dequeue
+        (fun () -> ops.Queues.dequeue_or d))
+    ~release:ops.Queues.release ()
 
 let run (instance : Queues.instance) (spec : Workload.spec) ~threads =
   if threads < 1 || threads > Runner.max_threads then
@@ -35,10 +53,16 @@ let run (instance : Queues.instance) (spec : Workload.spec) ~threads =
   let start_barrier = Sync.Barrier.create (threads + 1) in
   let done_counts = Array.make threads 0 in
   let latencies = Array.init threads (fun _ -> Obs.Op_latency.create ()) in
+  (* one accumulator per worker: [Gc.minor_words] counts the calling
+     domain only, so cross-domain sharing would both race and
+     misattribute *)
+  let allocs = Array.init threads (fun _ -> Obs.Alloc_probe.create ()) in
   let workers =
     List.init threads (fun thread ->
         Domain.spawn (fun () ->
-            let ops = timed_ops (instance.Queues.register ()) latencies.(thread) in
+            let ops =
+              timed_ops (instance.Queues.register ()) latencies.(thread) allocs.(thread)
+            in
             let body = Workload.thread_body spec ~thread ops ~threads in
             Sync.Barrier.await start_barrier;
             done_counts.(thread) <- body ();
@@ -51,6 +75,8 @@ let run (instance : Queues.instance) (spec : Workload.spec) ~threads =
   let ops = Array.fold_left ( + ) 0 done_counts in
   let latency = Obs.Op_latency.create () in
   Array.iter (fun l -> Obs.Op_latency.merge_into ~into:latency l) latencies;
+  let alloc = Obs.Alloc_probe.create () in
+  Array.iter (fun a -> Obs.Alloc_probe.merge_into ~into:alloc a) allocs;
   {
     threads;
     ops;
@@ -58,6 +84,7 @@ let run (instance : Queues.instance) (spec : Workload.spec) ~threads =
     mops = (float_of_int ops /. elapsed_s /. 1e6);
     snapshot = instance.Queues.snapshot ();
     latency;
+    alloc;
   }
 
 (* ----------------------------- the patience table ----------------- *)
@@ -160,6 +187,16 @@ let latency_to_json lat =
              ] ))
        Obs.Op_latency.classes)
 
+let alloc_to_json (a : Obs.Alloc_probe.t) =
+  Json.Obj
+    [
+      ("enq_ops", Json.Float a.enq_ops);
+      ("deq_ops", Json.Float a.deq_ops);
+      ("words_per_enqueue", Json.Float (Obs.Alloc_probe.words_per_enqueue a));
+      ("words_per_dequeue", Json.Float (Obs.Alloc_probe.words_per_dequeue a));
+      ("words_per_op", Json.Float (Obs.Alloc_probe.words_per_op a));
+    ]
+
 let run_result_to_json r =
   Json.Obj
     ([
@@ -168,6 +205,7 @@ let run_result_to_json r =
        ("elapsed_s", Json.Float r.elapsed_s);
        ("mops", Json.Float r.mops);
        ("latency_ns", latency_to_json r.latency);
+       ("alloc", alloc_to_json r.alloc);
      ]
     @ match r.snapshot with None -> [] | Some s -> [ ("snapshot", snapshot_to_json s) ])
 

@@ -17,6 +17,12 @@ type run_result = {
   mops : float;  (** indicative only — includes per-op timing cost *)
   snapshot : Obs.Snapshot.t option;  (** [None] for uninstrumented baselines *)
   latency : Obs.Op_latency.t;  (** merged across all worker domains *)
+  alloc : Obs.Alloc_probe.t;
+      (** per-operation minor-words, merged across workers.  Measured
+          under real concurrency, so it includes contention effects
+          (helping, segment churn) — whole-system words/op, not the
+          deterministic steady-state number the CI gate pins (that is
+          {!Alloc_bench}). *)
 }
 
 val run : Queues.instance -> Workload.spec -> threads:int -> run_result
@@ -44,6 +50,7 @@ val pp_table : Format.formatter -> row list -> unit
 (** The patience-vs-slow-path-rate table ([repro stats] output). *)
 
 val counters_to_json : Obs.Counters.t -> Json.t
+val alloc_to_json : Obs.Alloc_probe.t -> Json.t
 val snapshot_to_json : Obs.Snapshot.t -> Json.t
 val run_result_to_json : run_result -> Json.t
 val table_to_json : row list -> Json.t

@@ -75,6 +75,14 @@ val dequeue : 'a t -> 'a handle -> 'a option
 (** Wait-free dequeue (Listing 4); [None] means the queue was
     observed empty (the paper's EMPTY). *)
 
+val dequeue_or : 'a t -> 'a handle -> 'a -> 'a
+(** [dequeue_or q h default] is {!dequeue} returning [default] when
+    the queue is observed empty, without building the [Some] box —
+    the allocation-free dequeue for callers with an out-of-band
+    default (see DESIGN.md, allocation discipline).  The caller must
+    pick a [default] it can distinguish from a queued value (or not
+    care, e.g. polling loops counting successes via a sentinel). *)
+
 val enq_batch : 'a t -> 'a handle -> 'a array -> unit
 (** Wait-free batch enqueue: reserves [Array.length vs] consecutive
     cells with a {e single} FAA on the tail index — the amortization

@@ -18,14 +18,34 @@
    disabled build keeps the bare hot path (verified by benchmarking
    wf-10 against wf-10-obs; see DESIGN.md, observability section).
    The path-tier counters (fast/slow/empty outcomes) predate the probe
-   and stay unconditional.
+   and stay unconditional.  Protocol tracing rides a two-conjunct
+   gate: every [tracef (fun () -> ...)] site sits under
+   [if tracing ()] = [P.enabled && hook installed], so the disabled
+   build never constructs the trace thunk — a closure per operation,
+   the dominant fast-path allocation before the PR-6 audit — and the
+   probe-enabled builds (simsched, _obs, _inject) only construct it
+   while a hook is actually listening, keeping even the instrumented
+   hot path allocation-free (pinned by test/test_alloc.ml).
 
    Injection discipline ([I] : Inject.S): every adversarial window is
    [if I.enabled then I.hit <point>] — same compile-time-constant
    gating, same bench-gate verification that the disabled build pays
    nothing.  A hit may return (no fault or a finished stall) or raise
    [Inject.Killed] (simulated thread death); the point map and the
-   recovery story are in DESIGN.md §7. *)
+   recovery story are in DESIGN.md §7.
+
+   Allocation discipline (DESIGN.md, allocation section): the
+   fast paths — enq_fast, the deq fast attempt including its
+   help_enq call, and the empty-dequeue exit — allocate zero minor
+   words.  Everything they need lives in preallocated planes, handle
+   fields, or immediate ints; the helpers they call are top-level
+   functions (a local [let rec] that captures its environment is a
+   closure allocation per call).  The slow paths may allocate
+   (segment extension, helping reservations, cleanup bookkeeping):
+   they are bounded by patience/helping and amortized by segment
+   size.  [test/test_alloc.ml] pins the fast-path zero with
+   [Gc.minor_words]; the alloc rows in the bench JSON gate it in
+   CI. *)
 
 module Make (A : Atomic_prims.S) (P : Obs.Probe.S) (I : Inject.S) = struct
 (* Port of Listings 2-5 of Yang & Mellor-Crummey, "A Wait-free Queue
@@ -33,8 +53,10 @@ module Make (A : Atomic_prims.S) (P : Obs.Probe.S) (I : Inject.S) = struct
    "L.nn" refer to line numbers in the paper's listings.
 
    Representation choices (rationale in DESIGN.md):
-   - the reserved values ⊥/⊤ are constant constructors, so CAS from
-     them is exact physical equality;
+   - the value plane stores the user's values as bare words
+     ([Obj.repr], no constructor box); the reserved values ⊥/⊤ are
+     two private heap blocks, so CAS from them is exact physical
+     equality and no user value can collide with them;
    - the two-word request states (pending, id) are packed into one
      OCaml int ([Primitives.Packed_state]) and claimed with CAS;
    - hzdp = null is a sentinel segment with id = max_int, which
@@ -46,19 +68,43 @@ module Packed = Primitives.Packed_state
 
 (* Optional protocol tracing, for the model-checking harness: when a
    hook is installed every key protocol transition reports itself.
-   Off by default and lazy, so the production path only pays a ref
-   read per trace point. *)
+   Call sites are gated by [tracing ()] (see the header), so on a
+   disabled instantiation [set_trace] is accepted but never fires. *)
 let trace_hook : (string -> unit) option ref = ref None
 let set_trace f = trace_hook := f
 let tracef f = match !trace_hook with None -> () | Some out -> out (f ())
 
-type 'a cell_value = Bottom | Top | Value of 'a
+(* The call-site gate for tracing: the compile-time probe constant AND
+   a hook actually installed.  The second conjunct matters for the
+   instrumented build — without it every site would still construct
+   its closure (and its captures) per operation even when nobody is
+   listening, and the enabled build would allocate on the hot path. *)
+let[@inline] tracing () =
+  P.enabled && (match !trace_hook with None -> false | Some _ -> true)
+
+(* The value plane's reserved words.  The paper's ⊥ and ⊤ become two
+   private heap blocks: [Obj.repr] of a ref cell nobody else can ever
+   obtain, so physical equality against them is exact — an immediate
+   sentinel like [Obj.magic 0] would collide with the user's own [0].
+   User values are stored with [Obj.repr] (the identity) and recovered
+   with [Obj.obj]; the [Value v] box of the earlier representation —
+   two minor words per enqueue — is gone.  [empty_w] never enters a
+   cell: it is the out-of-band "queue observed empty" result word of
+   the dequeue paths, so they can return a bare word instead of an
+   allocated [option]/variant. *)
+let bottom_w : Obj.t = Obj.repr (ref "wfq.bottom")
+let top_w : Obj.t = Obj.repr (ref "wfq.top")
+let empty_w : Obj.t = Obj.repr (ref "wfq.empty")
+
+let[@inline] is_value w = w != bottom_w && w != top_w
 
 (* An enqueue request (L.10-12): [value] and [state] are two separate
    words that cannot be read or written together atomically; the
-   protocol in [help_enq] tolerates the resulting mixed reads. *)
-type 'a enq_request = { enq_value : 'a option A.t; enq_state : Packed.t A.t }
-type 'a enq_link = Enq_bottom | Enq_top | Enq_req of 'a enq_request
+   protocol in [help_enq] tolerates the resulting mixed reads.
+   [enq_value] holds the bare value word (⊥ when unset): publishing a
+   slow-path request is two plain stores, never an allocation. *)
+type enq_request = { enq_value : Obj.t A.t; enq_state : Packed.t A.t }
+type enq_link = Enq_bottom | Enq_top | Enq_req of enq_request
 
 (* A dequeue request (L.13-15): [id] names the request, [state] packs
    (pending, idx) where idx is the latest announced candidate cell. *)
@@ -79,6 +125,10 @@ type deq_link = Deq_bottom | Deq_top | Deq_req of deq_request
    all mixed reads were already tolerated (help_enq) — so flattening
    changes addressing only, not the set of atomic locations.
 
+   The type parameter is phantom for the planes (values are bare
+   words); it survives on [segment]/[handle]/[t] so the public API
+   stays ['a]-typed and [Obj] never escapes this module.
+
    [seg_id] is mutable only so that pooled segments can be relabeled
    while private (between pool pop and publication); every read
    happens after an atomic publication of the segment, exactly like
@@ -87,8 +137,8 @@ type 'a segment = {
   mutable seg_id : int;
   uid : int; (* physical identity, stable across pool relabeling *)
   next : 'a segment option A.t;
-  values : 'a cell_value A.t array;
-  enqs : 'a enq_link A.t array;
+  values : Obj.t A.t array;
+  enqs : enq_link A.t array;
   deqs : deq_link A.t array;
 }
 
@@ -108,7 +158,7 @@ and 'a handle = {
      singleton ring without a recursive-value knot. *)
   ring_next : 'a handle option A.t;
   hzdp : 'a segment A.t;
-  enq_req : 'a enq_request;
+  enq_req : enq_request;
   mutable enq_peer : 'a handle;
   mutable enq_help_id : int; (* the paper's enq.id helping bookmark *)
   deq_req : deq_request;
@@ -178,7 +228,7 @@ let new_segment shift seg_id =
     seg_id;
     uid = Atomic.fetch_and_add segment_uids 1;
     next = A.make None;
-    values = Array.init n (fun _ -> A.make Bottom);
+    values = Array.init n (fun _ -> A.make bottom_w);
     enqs = Array.init n (fun _ -> A.make Enq_bottom);
     deqs = Array.init n (fun _ -> A.make Deq_bottom);
   }
@@ -260,8 +310,8 @@ let pool_push q s =
     link ()
 
 let reset_segment s =
-  tracef (fun () -> Printf.sprintf "reset: uid=%d seg=%d" s.uid s.seg_id);
-  Array.iter (fun v -> A.set v Bottom) s.values;
+  if tracing () then tracef (fun () -> Printf.sprintf "reset: uid=%d seg=%d" s.uid s.seg_id);
+  Array.iter (fun v -> A.set v bottom_w) s.values;
   Array.iter (fun e -> A.set e Enq_bottom) s.enqs;
   Array.iter (fun d -> A.set d Deq_bottom) s.deqs
 
@@ -270,13 +320,16 @@ let reset_segment s =
 let obtain_segment q seg_id =
   match pool_pop q with
   | Some s ->
-    tracef (fun () -> Printf.sprintf "obtain: recycle uid=%d as seg=%d (was %d)" s.uid seg_id s.seg_id);
+    if tracing () then
+      tracef (fun () ->
+          Printf.sprintf "obtain: recycle uid=%d as seg=%d (was %d)" s.uid seg_id s.seg_id);
     s.seg_id <- seg_id;
     s
   | None ->
     ignore (A.fetch_and_add q.allocated 1);
     let s = new_segment q.seg_shift seg_id in
-    tracef (fun () -> Printf.sprintf "obtain: fresh uid=%d seg=%d" s.uid seg_id);
+    if tracing () then
+      tracef (fun () -> Printf.sprintf "obtain: fresh uid=%d seg=%d" s.uid seg_id);
     s
 
 (* ------------------------------------------------------------------ *)
@@ -287,12 +340,16 @@ let next_handle h = match A.get h.ring_next with Some n -> n | None -> h
 (* Peer advancement skips retired handles (threads that failed or
    deregistered, §3.6 "thread failure"): helping them is harmless but
    wasted, and a ring dominated by dead peers would slow the helping
-   rotation.  Falls back to [h] itself when everyone else is gone. *)
-let next_live_handle h =
-  let rec go n =
-    if n == h then n else if Atomic.get n.retired then go (next_handle n) else n
-  in
-  go (next_handle h)
+   rotation.  Falls back to [h] itself when everyone else is gone.
+   Top-level recursion (not a local [let rec]) because successful
+   dequeues advance their peer on the hot path — a capturing closure
+   here would be an allocation per dequeue. *)
+let rec next_live_from stop n =
+  if n == stop then n
+  else if Atomic.get n.retired then next_live_from stop (next_handle n)
+  else n
+
+let next_live_handle h = next_live_from h (next_handle h)
 
 (* The paper's §3.6 "thread failure" gap: a thread that dies (or
    departs) mid-operation leaves its hazard pointer set and blocks
@@ -311,7 +368,7 @@ let next_live_handle h =
    domain-termination hook. *)
 let retire q h =
   if Atomic.compare_and_set h.retired false true then begin
-    tracef (fun () -> Printf.sprintf "h%d retire" h.hid);
+    if tracing () then tracef (fun () -> Printf.sprintf "h%d retire" h.hid);
     A.set h.hzdp q.null_segment;
     let rec push () =
       let top = A.get q.free_handles in
@@ -349,12 +406,12 @@ let rec acquire_cleanup_token q =
    ids are global FAA tickets, so every id the new owner publishes is
    strictly larger than any id the old owner ever used. *)
 let recycle_handle q h seg =
-  tracef (fun () -> Printf.sprintf "h%d recycle slot" h.hid);
+  if tracing () then tracef (fun () -> Printf.sprintf "h%d recycle slot" h.hid);
   Op_stats.absorb ~into:q.departed_stats h.stats;
   A.set h.head seg;
   A.set h.tail seg;
   A.set h.hzdp q.null_segment;
-  A.set h.enq_req.enq_value None;
+  A.set h.enq_req.enq_value bottom_w;
   A.set h.enq_req.enq_state Packed.initial;
   A.set h.deq_req.deq_id 0;
   A.set h.deq_req.deq_state Packed.initial;
@@ -386,7 +443,7 @@ let register q =
           ring_next = A.make None;
           hzdp = A.make_contended q.null_segment;
           enq_req =
-            { enq_value = A.make_contended None; enq_state = A.make_contended Packed.initial };
+            { enq_value = A.make_contended bottom_w; enq_state = A.make_contended Packed.initial };
           enq_peer = h;
           enq_help_id = 0;
           deq_req = { deq_id = A.make_contended 0; deq_state = A.make_contended Packed.initial };
@@ -415,13 +472,50 @@ let register q =
 (* ------------------------------------------------------------------ *)
 (* find_cell (L.33-52) and index advancing (L.53-55)                  *)
 
-(* [sp] is a segment ref whose segment id is <= cell_id / N; after the
-   call it points to the segment containing the cell (the paper's
-   side-effect through the paper's Segment pointer-to-pointer).
-   Returns that segment; the cell itself is the planes' entries at
-   offset [cell_id land q.seg_mask] — pure arithmetic, no cell object
-   to chase or allocate. *)
-let find_cell ?(who = "?") q (sp : 'a segment ref) cell_id =
+(* The walk is a top-level recursion over explicit parameters: a local
+   [let rec] capturing [q]/[target] would allocate a closure on every
+   find_cell — i.e. on every operation. *)
+let rec find_cell_walk q who cell_id target s =
+  if s.seg_id = target then s
+  else if s.seg_id > target then begin
+    (* our segment was retired and relabeled under us: restart from
+       the oldest live segment (always at or before any cell a
+       thread may legitimately ask for) *)
+    let fresh_start = A.get q.q in
+    if fresh_start.seg_id > target then
+      invalid_arg
+        (Printf.sprintf "Wfqueue.find_cell[%s]: cell %d is in a reclaimed segment (%d > %d)" who
+           cell_id fresh_start.seg_id target);
+    find_cell_walk q who cell_id target fresh_start
+  end
+  else begin
+    match A.get s.next with
+    | Some next -> find_cell_walk q who cell_id target next
+    | None ->
+      if tracing () then
+        tracef (fun () ->
+            Printf.sprintf "find_cell[%s]: extend from seg %d toward %d (cell %d)" who s.seg_id
+              target cell_id);
+      let fresh = obtain_segment q (s.seg_id + 1) in
+      if A.compare_and_set s.next None (Some fresh) then find_cell_walk q who cell_id target fresh
+      else begin
+        (* L.42-44: another thread extended the list; ours goes
+           back to the pool (the paper frees it here).  It was
+           never published, so it is still clean. *)
+        ignore (A.fetch_and_add q.wasted 1);
+        pool_push q fresh;
+        find_cell_walk q who cell_id target s
+      end
+  end
+
+(* [from] is a segment whose id is <= cell_id / N (normally the
+   caller's cached head/tail segment); returns the segment containing
+   the cell — the caller stores it back into its own pointer, which
+   is the paper's side effect through the Segment pointer-to-pointer
+   without a per-call [ref] cell.  The cell itself is the planes'
+   entries at offset [cell_id land q.seg_mask] — pure arithmetic, no
+   cell object to chase or allocate. *)
+let find_cell ?(who = "?") q (from : 'a segment) cell_id =
   let target = cell_id lsr q.seg_shift in
   (* A cleaner can advance another thread's head/tail pointer (L.239,
      "update") concurrently with that thread's operation: its hazard
@@ -433,48 +527,13 @@ let find_cell ?(who = "?") q (sp : 'a segment ref) cell_id =
      oldest live segment, which the hazard-pointer protocol
      guarantees is at or before any cell a thread can legitimately
      ask for. *)
-  let start = if (!sp).seg_id <= target then !sp else A.get q.q in
+  let start = if from.seg_id <= target then from else A.get q.q in
   if start.seg_id > target then
     invalid_arg
       (Printf.sprintf
          "Wfqueue.find_cell[%s]: cell %d is in a reclaimed segment (%d > %d) T=%d H=%d sp=%d" who
-         cell_id start.seg_id target (A.get q.tail_index) (A.get q.head_index)
-         (!sp).seg_id);
-  let rec walk s =
-    if s.seg_id = target then s
-    else if s.seg_id > target then begin
-      (* our segment was retired and relabeled under us: restart from
-         the oldest live segment (always at or before any cell a
-         thread may legitimately ask for) *)
-      let fresh_start = A.get q.q in
-      if fresh_start.seg_id > target then
-        invalid_arg
-          (Printf.sprintf "Wfqueue.find_cell[%s]: cell %d is in a reclaimed segment (%d > %d)"
-             who cell_id fresh_start.seg_id target);
-      walk fresh_start
-    end
-    else begin
-      match A.get s.next with
-      | Some next -> walk next
-      | None ->
-        tracef (fun () ->
-            Printf.sprintf "find_cell[%s]: extend from seg %d toward %d (cell %d)" who s.seg_id
-              target cell_id);
-        let fresh = obtain_segment q (s.seg_id + 1) in
-        if A.compare_and_set s.next None (Some fresh) then walk fresh
-        else begin
-          (* L.42-44: another thread extended the list; ours goes
-             back to the pool (the paper frees it here).  It was
-             never published, so it is still clean. *)
-          ignore (A.fetch_and_add q.wasted 1);
-          pool_push q fresh;
-          walk s
-        end
-    end
-  in
-  let s = walk start in
-  sp := s;
-  s
+         cell_id start.seg_id target (A.get q.tail_index) (A.get q.head_index) from.seg_id);
+  find_cell_walk q who cell_id target start
 
 (* Publish [src]'s current segment as [h]'s hazard pointer and
    re-validate that [src] still holds it (Michael's hazard-pointer
@@ -510,73 +569,85 @@ let try_to_claim_req state ~id ~cell_id =
   A.compare_and_set state (Packed.make ~pending:true ~id)
     (Packed.make ~pending:false ~id:cell_id)
 
-(* L.62-64: [cv] is the cell's entry in the value plane. *)
-let enq_commit q cv v cid =
+(* L.62-64: [cv] is the cell's entry in the value plane; [w] the bare
+   value word. *)
+let enq_commit q cv w cid =
   advance_end_for_linearizability q.tail_index (cid + 1);
-  A.set cv (Value v)
+  A.set cv w
 
-(* L.65-69: returns None on success, or the failed cell index that
-   becomes the slow-path request id. *)
-let enq_fast q h v =
+(* L.65-69: returns -1 on success, or the failed cell index that
+   becomes the slow-path request id (cell ids are FAA tickets, never
+   negative).  An int instead of [int option] keeps the contended
+   retry path allocation-free. *)
+let enq_fast (q : 'a t) (h : 'a handle) (v : 'a) =
   let i = A.fetch_and_add q.tail_index 1 in
   (* ticket [i] is consumed but nothing is deposited yet: a stall here
      forces dequeuers to poison the cell; a death abandons it *)
   if I.enabled then I.hit Inject.Enq_fast_after_faa;
-  let sp = ref (A.get h.tail) in
-  tracef (fun () ->
-      Printf.sprintf "h%d enq_fast: ticket %d, tail seg=%d uid=%d hzdp seg=%d" h.hid i (!sp).seg_id
-        (!sp).uid (A.get h.hzdp).seg_id);
-  let s = find_cell ~who:"enq_fast" q sp i in
+  if tracing () then
+    tracef (fun () ->
+        let t = A.get h.tail in
+        Printf.sprintf "h%d enq_fast: ticket %d, tail seg=%d uid=%d hzdp seg=%d" h.hid i t.seg_id
+          t.uid (A.get h.hzdp).seg_id);
+  let s = find_cell ~who:"enq_fast" q (A.get h.tail) i in
   A.set h.tail s;
-  if A.compare_and_set s.values.(i land q.seg_mask) Bottom (Value v) then begin
-    tracef (fun () -> Printf.sprintf "h%d enq_fast: deposit at %d" h.hid i);
-    None
+  if A.compare_and_set s.values.(i land q.seg_mask) bottom_w (Obj.repr v) then begin
+    if tracing () then tracef (fun () -> Printf.sprintf "h%d enq_fast: deposit at %d" h.hid i);
+    -1
   end
   else begin
     if P.enabled then h.stats.enq_cas_failures <- h.stats.enq_cas_failures + 1;
-    tracef (fun () -> Printf.sprintf "h%d enq_fast: cell %d unusable" h.hid i);
-    Some i
+    if tracing () then tracef (fun () -> Printf.sprintf "h%d enq_fast: cell %d unusable" h.hid i);
+    i
+  end
+
+(* L.73-84: the slow path's cell-acquisition loop, traversing with a
+   local tail segment because the claimed cell may be earlier than the
+   last cell visited here.  Top-level recursion: the segment threads
+   through as a parameter instead of the former per-call [ref]. *)
+let rec enq_slow_acquire q h r cell_id tmp_tail =
+  let i = A.fetch_and_add q.tail_index 1 in
+  let s = find_cell ~who:"enq_slow_acq" q tmp_tail i in
+  let j = i land q.seg_mask in
+  (* L.79-84, Dijkstra's protocol with the helpers *)
+  if
+    (let won = A.compare_and_set s.enqs.(j) Enq_bottom (Enq_req r) in
+     if tracing () then
+       tracef (fun () -> Printf.sprintf "h%d enq_slow: reserve cell %d -> %b" h.hid i won);
+     won)
+    && A.get s.values.(j) == bottom_w
+  then begin
+    let claimed = try_to_claim_req r.enq_state ~id:cell_id ~cell_id:i in
+    if tracing () then
+      tracef (fun () -> Printf.sprintf "h%d enq_slow: self-claim at %d -> %b" h.hid i claimed)
+    (* invariant: request claimed (even if the claim CAS failed) *)
+  end
+  else if Packed.pending (A.get r.enq_state) then begin
+    (* ticket [i] was consumed but the transfer did not complete
+       there: the cell is abandoned to the dequeuers' help_enq *)
+    if P.enabled then h.stats.cells_skipped <- h.stats.cells_skipped + 1;
+    enq_slow_acquire q h r cell_id s
   end
 
 (* L.70-89 *)
-let enq_slow q h v cell_id =
-  (* publish the request: value first, then the pending state *)
+let enq_slow (q : 'a t) (h : 'a handle) (v : 'a) cell_id =
+  (* publish the request: value first, then the pending state.  Both
+     are plain stores of existing words — repeated slow paths on one
+     handle never allocate for the publication ([Obj.repr] is the
+     identity; the former representation boxed a fresh [Some v]
+     here). *)
   let r = h.enq_req in
-  tracef (fun () -> Printf.sprintf "h%d enq_slow: publish id=%d" h.hid cell_id);
-  A.set r.enq_value (Some v);
+  if tracing () then tracef (fun () -> Printf.sprintf "h%d enq_slow: publish id=%d" h.hid cell_id);
+  A.set r.enq_value (Obj.repr v);
   A.set r.enq_state (Packed.make ~pending:true ~id:cell_id);
   (* the request is visible: from here the paper guarantees helpers
      complete it even if this thread never runs another step *)
   if I.enabled then I.hit Inject.Enq_slow_published;
-  (* L.73-75: traverse with a local tail pointer because the claimed
-     cell may be earlier than the last cell visited here. *)
-  let tmp_tail = ref (A.get h.tail) in
-  let rec acquire () =
-    let i = A.fetch_and_add q.tail_index 1 in
-    let s = find_cell ~who:"enq_slow_acq" q tmp_tail i in
-    let j = i land q.seg_mask in
-    (* L.79-84, Dijkstra's protocol with the helpers *)
-    if
-      (let won = A.compare_and_set s.enqs.(j) Enq_bottom (Enq_req r) in
-       tracef (fun () -> Printf.sprintf "h%d enq_slow: reserve cell %d -> %b" h.hid i won);
-       won)
-      && (match A.get s.values.(j) with Bottom -> true | Top | Value _ -> false)
-    then begin
-      let claimed = try_to_claim_req r.enq_state ~id:cell_id ~cell_id:i in
-      tracef (fun () -> Printf.sprintf "h%d enq_slow: self-claim at %d -> %b" h.hid i claimed)
-      (* invariant: request claimed (even if the claim CAS failed) *)
-    end
-    else if Packed.pending (A.get r.enq_state) then begin
-      (* ticket [i] was consumed but the transfer did not complete
-         there: the cell is abandoned to the dequeuers' help_enq *)
-      if P.enabled then h.stats.cells_skipped <- h.stats.cells_skipped + 1;
-      acquire ()
-    end
-  in
-  acquire ();
+  enq_slow_acquire q h r cell_id (A.get h.tail);
   (* L.86-88: the request is claimed for some cell; find it, commit. *)
   let id = Packed.id (A.get r.enq_state) in
-  tracef (fun () -> Printf.sprintf "h%d enq_slow: committing claimed cell %d" h.hid id);
+  if tracing () then
+    tracef (fun () -> Printf.sprintf "h%d enq_slow: committing claimed cell %d" h.hid id);
   if id < cell_id then
     failwith
       (Printf.sprintf "enq_slow: claimed cell %d below request id %d (stale claim)" id cell_id);
@@ -590,35 +661,47 @@ let enq_slow q h v cell_id =
      enqueue never returned), a stall forces the claimed cell's
      dequeuer onto its own slow path *)
   if I.enabled then I.hit Inject.Enq_slow_pre_commit;
-  let sp = ref (A.get h.tail) in
-  let s = find_cell ~who:"enq_slow_commit" q sp id in
+  let s = find_cell ~who:"enq_slow_commit" q (A.get h.tail) id in
   A.set h.tail s;
-  enq_commit q s.values.(id land q.seg_mask) v id
+  enq_commit q s.values.(id land q.seg_mask) (Obj.repr v) id
 
-(* L.56-59 *)
-let enqueue_with_hzdp q h v =
-  let rec attempt p =
-    match enq_fast q h v with
-    | None -> h.stats.fast_enqueues <- h.stats.fast_enqueues + 1
-    | Some cell_id ->
-      if p > 0 then attempt (p - 1)
-      else begin
-        enq_slow q h v cell_id;
-        h.stats.slow_enqueues <- h.stats.slow_enqueues + 1
-      end
-  in
-  attempt q.patience
+(* L.56-59: the patience loop, as a top-level recursion over the
+   remaining patience. *)
+let rec enq_attempt (q : 'a t) (h : 'a handle) (v : 'a) p =
+  let failed = enq_fast q h v in
+  if failed < 0 then h.stats.fast_enqueues <- h.stats.fast_enqueues + 1
+  else if p > 0 then enq_attempt q h v (p - 1)
+  else begin
+    enq_slow q h v failed;
+    h.stats.slow_enqueues <- h.stats.slow_enqueues + 1
+  end
+
+let enqueue_with_hzdp q h v = enq_attempt q h v q.patience
 
 (* ------------------------------------------------------------------ *)
 (* help_enq (L.90-127), called by dequeuers on every visited cell     *)
 
-type 'a help_enq_result = Henq_value of 'a | Henq_top | Henq_empty
+(* The dequeue-side result convention: a bare word that is the cell's
+   value, [top_w] (cell closed without a value), or [empty_w] (queue
+   observed empty) — no [Henq_*] variant box on the per-cell path. *)
+let value_or_top cv =
+  let w = A.get cv in
+  assert (w != bottom_w) (* the cell was already ⊤ or a value *);
+  w
 
-let value_as_result cv =
-  match A.get cv with
-  | Value v -> Henq_value v
-  | Top -> Henq_top
-  | Bottom -> assert false (* the cell was already ⊤ or a value *)
+(* L.94-100: advance the helping bookmark to a peer whose request this
+   thread may help; returns that peer's request-state snapshot (the
+   settled peer itself is [h.enq_peer] after the call — returning the
+   pair would be a tuple allocation on the empty-dequeue path). *)
+let rec settle_enq_peer h =
+  let p = h.enq_peer in
+  let s = A.get p.enq_req.enq_state in
+  if h.enq_help_id = 0 || h.enq_help_id = Packed.id s then s
+  else begin
+    h.enq_help_id <- 0;
+    h.enq_peer <- next_live_handle p;
+    settle_enq_peer h
+  end
 
 (* [s] is the segment holding cell [i]; the cell's two fields this
    function touches are bound once from the planes up front. *)
@@ -626,44 +709,31 @@ let help_enq q h (s : 'a segment) i =
   let j = i land q.seg_mask in
   let cv = s.values.(j) in
   let ce = s.enqs.(j) in
-  if
-    (not
-       (let poisoned = A.compare_and_set cv Bottom Top in
-        if poisoned then tracef (fun () -> Printf.sprintf "h%d help_enq: poison cell %d" h.hid i);
-        poisoned))
-    && (match A.get cv with Value _ -> true | Top | Bottom -> false)
-  then value_as_result cv (* L.91: the cell already holds a value *)
+  let poisoned = A.compare_and_set cv bottom_w top_w in
+  if tracing () && poisoned then
+    tracef (fun () -> Printf.sprintf "h%d help_enq: poison cell %d" h.hid i);
+  let w0 = if poisoned then top_w else A.get cv in
+  if is_value w0 then w0 (* L.91: the cell already holds a value *)
   else begin
     (* c.value is ⊤: try to complete a slow-path enqueue here. *)
     (match A.get ce with
     | Enq_req _ | Enq_top -> ()
     | Enq_bottom ->
-      (* L.94-100: find the peer request to help; at most two rounds *)
-      let rec find_peer () =
-        let p = h.enq_peer in
-        let r = p.enq_req in
-        let s = A.get r.enq_state in
-        if h.enq_help_id = 0 || h.enq_help_id = Packed.id s then (r, s)
-        else begin
-          h.enq_help_id <- 0;
-          h.enq_peer <- next_live_handle p;
-          find_peer ()
-        end
-      in
-      let r, s = find_peer () in
+      let st = settle_enq_peer h in
       let p = h.enq_peer in
+      let r = p.enq_req in
       (* L.101-108 *)
       if
-        Packed.pending s
-        && Packed.id s <= i
+        Packed.pending st
+        && Packed.id st <= i
         && not
              (let won = A.compare_and_set ce Enq_bottom (Enq_req r) in
-              if won then
+              if tracing () && won then
                 tracef (fun () ->
                     Printf.sprintf "h%d help_enq: reserved cell %d for peer h%d (req id %d)"
-                      h.hid i p.hid (Packed.id s));
+                      h.hid i p.hid (Packed.id st));
               won)
-      then h.enq_help_id <- Packed.id s
+      then h.enq_help_id <- Packed.id st
       else h.enq_peer <- next_live_handle p;
       (* L.109-111: close the cell to enqueue helpers if unused *)
       (match A.get ce with
@@ -674,24 +744,20 @@ let help_enq q h (s : 'a segment) i =
     | Enq_bottom -> assert false
     | Enq_top ->
       (* L.114-116: nobody will fill this cell *)
-      if A.get q.tail_index <= i then Henq_empty else Henq_top
+      if A.get q.tail_index <= i then empty_w else top_w
     | Enq_req r ->
       (* L.117-127.  Read state before value so the value belongs to
-         request [Packed.id s] or a later one. *)
-      let s = A.get r.enq_state in
+         request [Packed.id st] or a later one. *)
+      let st = A.get r.enq_state in
       let v = A.get r.enq_value in
-      if Packed.id s > i then begin
+      if Packed.id st > i then begin
         (* L.119-122: request unsuitable for this cell *)
-        if
-          (match A.get cv with Top -> true | Value _ | Bottom -> false)
-          && A.get q.tail_index <= i
-        then Henq_empty
-        else value_as_result cv
+        if A.get cv == top_w && A.get q.tail_index <= i then empty_w else value_or_top cv
       end
       else begin
         (* L.123-126.  The paper's second disjunct compares the STALE
-           [s] against (0, i); if the owner's self-claim for this very
-           cell lands between our read of [s] and our claim CAS, the
+           [st] against (0, i); if the owner's self-claim for this very
+           cell lands between our read of [st] and our claim CAS, the
            stale comparison misses it, we abandon the cell as ⊤, and
            the owner then commits into a cell no dequeuer will visit
            again: the value is lost.  (Found by the model checker —
@@ -703,67 +769,47 @@ let help_enq q h (s : 'a segment) i =
         (* a helper poised on the claim CAS: dying here must leave the
            request completable by the owner or any other helper *)
         if I.enabled then I.hit Inject.Help_enq_pre_claim;
-        let claimed_by_us = try_to_claim_req r.enq_state ~id:(Packed.id s) ~cell_id:i in
+        let claimed_by_us = try_to_claim_req r.enq_state ~id:(Packed.id st) ~cell_id:i in
         if P.enabled && claimed_by_us && r != h.enq_req then
           h.stats.help_enqueues <- h.stats.help_enqueues + 1;
-        if claimed_by_us then
+        if tracing () && claimed_by_us then
           tracef (fun () ->
-              Printf.sprintf "h%d help_enq: claimed req (id %d) for cell %d" h.hid (Packed.id s) i);
+              Printf.sprintf "h%d help_enq: claimed req (id %d) for cell %d" h.hid (Packed.id st) i);
         let claimed_for_cell =
           claimed_by_us
           || Packed.equal (A.get r.enq_state) (Packed.make ~pending:false ~id:i)
-             && (match A.get cv with Top -> true | Value _ | Bottom -> false)
+             && A.get cv == top_w
         in
         if claimed_for_cell then begin
-          match v with
-          | Some v ->
+          assert (v != bottom_w) (* a claimed request had its value published *);
+          if tracing () then
             tracef (fun () -> Printf.sprintf "h%d help_enq: commit value at cell %d" h.hid i);
-            enq_commit q cv v i
-          | None -> assert false (* a claimed request had its value published *)
+          enq_commit q cv v i
         end;
-        value_as_result cv (* L.127 *)
+        value_or_top cv (* L.127 *)
       end
   end
 
 (* ------------------------------------------------------------------ *)
 (* Dequeue (Listing 4)                                                *)
 
-type 'a deq_fast_result = Dq_value of 'a | Dq_empty | Dq_fail of int
-
-(* L.140-148 *)
-let deq_fast q h =
-  let i = A.fetch_and_add q.head_index 1 in
-  (* head ticket consumed, cell not yet helped/claimed: a death here
-     can strand the value at cell [i] (linearized as dequeue-then-
-     crash), which is exactly what a crashed consumer does *)
-  if I.enabled then I.hit Inject.Deq_fast_after_faa;
-  let sp = ref (A.get h.head) in
-  let s = find_cell ~who:"deq_fast" q sp i in
-  A.set h.head s;
-  match help_enq q h s i with
-  | Henq_empty ->
-    tracef (fun () -> Printf.sprintf "h%d deq_fast: cell %d EMPTY" h.hid i);
-    Dq_empty
-  | Henq_value v when A.compare_and_set s.deqs.(i land q.seg_mask) Deq_bottom Deq_top ->
-    tracef (fun () -> Printf.sprintf "h%d deq_fast: took value at cell %d" h.hid i);
-    Dq_value v
-  | Henq_value _ | Henq_top ->
-    tracef (fun () -> Printf.sprintf "h%d deq_fast: failed at cell %d" h.hid i);
-    Dq_fail i
-
 (* L.158-205 *)
 let help_deq q h helpee =
   let r = helpee.deq_req in
-  let s = ref (A.get r.deq_state) in
+  let s0 = A.get r.deq_state in
   let id = A.get r.deq_id in
-  (* L.162: no help needed (not pending, or a stale mixed read) *)
-  if Packed.pending !s && Packed.id !s >= id then begin
+  (* L.162: no help needed (not pending, or a stale mixed read).
+     Checked before any local state is built: this function also runs
+     on every successful dequeue (peer helping), and its common exit
+     must not allocate.  The [ref]s below belong to the actual
+     helping path only. *)
+  if Packed.pending s0 && Packed.id s0 >= id then begin
     if P.enabled && helpee != h then h.stats.help_dequeues <- h.stats.help_dequeues + 1;
     (* L.163-165: local segment pointer for announced cells; publish
        it as our hazard pointer (validated, see protect_pointer),
        then re-read the request state. *)
     let ha = ref (protect_pointer h helpee.head) in
-    s := A.get r.deq_state;
+    let s = ref (A.get r.deq_state) in
     let prior = ref id and i = ref id and cand = ref 0 in
     let finished = ref false in
     while not !finished do
@@ -773,15 +819,17 @@ let help_deq q h helpee =
       let hc = ref !ha in
       while !cand = 0 && Packed.id !s = !prior do
         incr i;
-        let seg = find_cell ~who:"help_deq_cand" q hc !i in
-        match help_enq q h seg !i with
-        | Henq_empty -> cand := !i
-        | Henq_value _
-          when (match A.get seg.deqs.(!i land q.seg_mask) with
-               | Deq_bottom -> true
-               | Deq_top | Deq_req _ -> false)
-          -> cand := !i
-        | Henq_value _ | Henq_top -> s := A.get r.deq_state
+        let seg = find_cell ~who:"help_deq_cand" q !hc !i in
+        hc := seg;
+        let w = help_enq q h seg !i in
+        if w == empty_w then cand := !i
+        else if
+          w != top_w
+          && (match A.get seg.deqs.(!i land q.seg_mask) with
+             | Deq_bottom -> true
+             | Deq_top | Deq_req _ -> false)
+        then cand := !i
+        else s := A.get r.deq_state
       done;
       if !cand <> 0 then begin
         (* L.181-185: try to announce our candidate *)
@@ -790,7 +838,7 @@ let help_deq q h helpee =
             (Packed.make ~pending:true ~id:!prior)
             (Packed.make ~pending:true ~id:!cand)
         in
-        if announced then
+        if tracing () && announced then
           tracef (fun () ->
               Printf.sprintf "h%d help_deq(h%d): announce cell %d" h.hid helpee.hid !cand);
         s := A.get r.deq_state
@@ -799,10 +847,11 @@ let help_deq q h helpee =
       if (not (Packed.pending !s)) || A.get r.deq_id <> id then finished := true
       else begin
         (* L.189-199: inspect the announced candidate *)
-        let seg = find_cell ~who:"help_deq_ann" q ha (Packed.id !s) in
+        let seg = find_cell ~who:"help_deq_ann" q !ha (Packed.id !s) in
+        ha := seg;
         let j = Packed.id !s land q.seg_mask in
         let satisfied =
-          (match A.get seg.values.(j) with Top -> true | Value _ | Bottom -> false)
+          A.get seg.values.(j) == top_w
           || A.compare_and_set seg.deqs.(j) Deq_bottom (Deq_req r)
           || (match A.get seg.deqs.(j) with
              | Deq_req r' -> r' == r
@@ -815,7 +864,7 @@ let help_deq q h helpee =
           let closed =
             A.compare_and_set r.deq_state !s (Packed.make ~pending:false ~id:(Packed.id !s))
           in
-          if closed then
+          if tracing () && closed then
             tracef (fun () ->
                 Printf.sprintf "h%d help_deq(h%d): closed at cell %d" h.hid helpee.hid
                   (Packed.id !s));
@@ -833,10 +882,10 @@ let help_deq q h helpee =
     done
   end
 
-(* L.149-157 *)
+(* L.149-157: returns the value word or [empty_w]. *)
 let deq_slow q h cell_id =
   let r = h.deq_req in
-  tracef (fun () -> Printf.sprintf "h%d deq_slow: publish id=%d" h.hid cell_id);
+  if tracing () then tracef (fun () -> Printf.sprintf "h%d deq_slow: publish id=%d" h.hid cell_id);
   A.set r.deq_id cell_id;
   A.set r.deq_state (Packed.make ~pending:true ~id:cell_id);
   (* the dequeue request is visible: peers' helping rotation must
@@ -844,47 +893,61 @@ let deq_slow q h cell_id =
   if I.enabled then I.hit Inject.Deq_slow_published;
   help_deq q h h;
   let i = Packed.id (A.get r.deq_state) in
-  let sp = ref (A.get h.head) in
-  let s = find_cell ~who:"deq_slow_res" q sp i in
+  let s = find_cell ~who:"deq_slow_res" q (A.get h.head) i in
   A.set h.head s;
-  let v = A.get s.values.(i land q.seg_mask) in
+  let w = A.get s.values.(i land q.seg_mask) in
   advance_end_for_linearizability q.head_index (i + 1);
-  match v with
-  | Top -> None
-  | Value v -> Some v
-  | Bottom -> assert false (* the request completed at this cell *)
+  assert (w != bottom_w) (* the request completed at this cell *);
+  if w == top_w then empty_w else w
 
-(* L.128-139 *)
+(* L.128-148: the paper's dequeue/deq_fast pair fused into one
+   patience recursion.  Each round is L.140-148 (FAA a head ticket,
+   help the cell's enqueuer, claim); the word result is the value,
+   or [empty_w] — no [Dq_*] variant box and no segment [ref] per
+   round. *)
+let rec deq_attempt q h p =
+  let i = A.fetch_and_add q.head_index 1 in
+  (* head ticket consumed, cell not yet helped/claimed: a death here
+     can strand the value at cell [i] (linearized as dequeue-then-
+     crash), which is exactly what a crashed consumer does *)
+  if I.enabled then I.hit Inject.Deq_fast_after_faa;
+  let s = find_cell ~who:"deq_fast" q (A.get h.head) i in
+  A.set h.head s;
+  let w = help_enq q h s i in
+  if w == empty_w then begin
+    if tracing () then tracef (fun () -> Printf.sprintf "h%d deq_fast: cell %d EMPTY" h.hid i);
+    h.stats.fast_dequeues <- h.stats.fast_dequeues + 1;
+    h.stats.empty_dequeues <- h.stats.empty_dequeues + 1;
+    empty_w
+  end
+  else if
+    w != top_w && A.compare_and_set s.deqs.(i land q.seg_mask) Deq_bottom Deq_top
+  then begin
+    if tracing () then
+      tracef (fun () -> Printf.sprintf "h%d deq_fast: took value at cell %d" h.hid i);
+    h.stats.fast_dequeues <- h.stats.fast_dequeues + 1;
+    w
+  end
+  else begin
+    if tracing () then tracef (fun () -> Printf.sprintf "h%d deq_fast: failed at cell %d" h.hid i);
+    if P.enabled then h.stats.deq_cas_failures <- h.stats.deq_cas_failures + 1;
+    if p > 0 then deq_attempt q h (p - 1)
+    else begin
+      let w = deq_slow q h i in
+      h.stats.slow_dequeues <- h.stats.slow_dequeues + 1;
+      if w == empty_w then h.stats.empty_dequeues <- h.stats.empty_dequeues + 1;
+      w
+    end
+  end
+
 let dequeue_with_hzdp q h =
-  let rec attempt p =
-    match deq_fast q h with
-    | Dq_value v ->
-      h.stats.fast_dequeues <- h.stats.fast_dequeues + 1;
-      Some v
-    | Dq_empty ->
-      h.stats.fast_dequeues <- h.stats.fast_dequeues + 1;
-      h.stats.empty_dequeues <- h.stats.empty_dequeues + 1;
-      None
-    | Dq_fail cell_id ->
-      if P.enabled then h.stats.deq_cas_failures <- h.stats.deq_cas_failures + 1;
-      if p > 0 then attempt (p - 1)
-      else begin
-        let v = deq_slow q h cell_id in
-        h.stats.slow_dequeues <- h.stats.slow_dequeues + 1;
-        (match v with
-        | None -> h.stats.empty_dequeues <- h.stats.empty_dequeues + 1
-        | Some _ -> ());
-        v
-      end
-  in
-  let v = attempt q.patience in
+  let w = deq_attempt q h q.patience in
   (* L.135-138: a successful dequeue helps its dequeue peer *)
-  (match v with
-  | Some _ ->
+  if w != empty_w then begin
     help_deq q h h.deq_peer;
     h.deq_peer <- next_live_handle h.deq_peer
-  | None -> ());
-  v
+  end;
+  w
 
 (* ------------------------------------------------------------------ *)
 (* Memory reclamation (Listing 5)                                     *)
@@ -914,16 +977,18 @@ let update q (from_ : 'a segment A.t) (to_ : 'a segment ref) owner =
    from head pointers alone.  Under a drained queue (H far ahead of
    T) that lets [e] pass segments that future enqueues, whose FAA
    tickets trail H, must still reach.  We cap [e] at
-   segment(min(T,H)/N) to enforce the stated condition. *)
+   segment(min(T,H)/N) to enforce the stated condition.
+
+   The threshold test runs on every dequeue; everything it needs is
+   read into locals first, and the scan's [ref]s are only built once
+   the CAS on the token has actually opened a cleanup. *)
 let cleanup q h =
   let i = A.get q.oldest in
-  let e = ref (A.get h.head) in
+  let e0 = A.get h.head in
   let bound = min (A.get q.tail_index) (A.get q.head_index) lsr q.seg_shift in
-  if
-    i >= 0
-    && min (!e).seg_id bound - i >= q.max_garbage
-    && A.compare_and_set q.oldest i (-1)
+  if i >= 0 && min e0.seg_id bound - i >= q.max_garbage && A.compare_and_set q.oldest i (-1)
   then begin
+    let e = ref e0 in
     (* From here we hold the cleanup token (oldest = -1); restore it
        on any exception so a failed cleaner cannot wedge registration
        and future cleanups. *)
@@ -998,9 +1063,10 @@ let cleanup q h =
          is safe in the original.  Collect first — pushing to the
          pool reuses the next fields the walk follows. *)
       let first = A.get q.q in
-      tracef (fun () ->
-          Printf.sprintf "h%d cleanup: retiring segs [%d,%d) (uids %d..)" h.hid first.seg_id
-            (!e).seg_id first.uid);
+      if tracing () then
+        tracef (fun () ->
+            Printf.sprintf "h%d cleanup: retiring segs [%d,%d) (uids %d..)" h.hid first.seg_id
+              (!e).seg_id first.uid);
       A.set q.q !e;
       release_token (!e).seg_id;
       ignore (A.fetch_and_add q.reclaimed ((!e).seg_id - i));
@@ -1025,17 +1091,30 @@ let cleanup q h =
 (* ------------------------------------------------------------------ *)
 (* Public operations: Listing 5's hazard-pointer augmentation         *)
 
-let enqueue q h v =
+let enqueue (q : 'a t) (h : 'a handle) (v : 'a) =
   ignore (protect_pointer h h.tail);
   enqueue_with_hzdp q h v;
   A.set h.hzdp q.null_segment
 
-let dequeue q h =
+(* The word-returning dequeue shared by [dequeue] (option) and
+   [dequeue_or] (default).  Only the [option] wrapper allocates — the
+   unavoidable [Some] box of that API; [dequeue_or] returns the bare
+   value and is the zero-allocation dequeue ([Wfqueue_int], and the
+   alloc probe's subject). *)
+let dequeue_raw (q : 'a t) (h : 'a handle) =
   ignore (protect_pointer h h.head);
-  let v = dequeue_with_hzdp q h in
+  let w = dequeue_with_hzdp q h in
   A.set h.hzdp q.null_segment;
   if q.reclamation then cleanup q h;
-  v
+  w
+
+let dequeue (q : 'a t) (h : 'a handle) : 'a option =
+  let w = dequeue_raw q h in
+  if w == empty_w then None else Some (Obj.obj w)
+
+let dequeue_or (q : 'a t) (h : 'a handle) (default : 'a) : 'a =
+  let w = dequeue_raw q h in
+  if w == empty_w then default else Obj.obj w
 
 (* ------------------------------------------------------------------ *)
 (* Batch operations: one FAA reserves k consecutive cells             *)
@@ -1050,7 +1129,7 @@ let dequeue q h =
    grow past the protected segment, and cleanup never reclaims at or
    beyond a live hazard pointer. *)
 
-let enq_batch q h vs =
+let enq_batch (q : 'a t) (h : 'a handle) (vs : 'a array) =
   let k = Array.length vs in
   if k > 0 then begin
     ignore (protect_pointer h h.tail);
@@ -1064,12 +1143,11 @@ let enq_batch q h vs =
       h.stats.enq_batches <- h.stats.enq_batches + 1;
       h.stats.enq_batch_cells <- h.stats.enq_batch_cells + k
     end;
-    let sp = ref (A.get h.tail) in
     for j = 0 to k - 1 do
       let i = first + j in
-      let s = find_cell ~who:"enq_batch" q sp i in
+      let s = find_cell ~who:"enq_batch" q (A.get h.tail) i in
       A.set h.tail s;
-      if A.compare_and_set s.values.(i land q.seg_mask) Bottom (Value vs.(j)) then
+      if A.compare_and_set s.values.(i land q.seg_mask) bottom_w (Obj.repr vs.(j)) then
         h.stats.fast_enqueues <- h.stats.fast_enqueues + 1
       else begin
         (* the cell was poisoned while we worked through the batch:
@@ -1080,14 +1158,13 @@ let enq_batch q h vs =
           h.stats.enq_batch_fallbacks <- h.stats.enq_batch_fallbacks + 1
         end;
         enq_slow q h vs.(j) i;
-        h.stats.slow_enqueues <- h.stats.slow_enqueues + 1;
-        sp := A.get h.tail
+        h.stats.slow_enqueues <- h.stats.slow_enqueues + 1
       end
     done;
     A.set h.hzdp q.null_segment
   end
 
-let deq_batch q h k =
+let deq_batch (q : 'a t) (h : 'a handle) k : 'a option array =
   if k <= 0 then [||]
   else begin
     ignore (protect_pointer h h.head);
@@ -1101,31 +1178,35 @@ let deq_batch q h k =
     end;
     let out = Array.make k None in
     let got = ref false in
-    let sp = ref (A.get h.head) in
     for j = 0 to k - 1 do
       let i = first + j in
-      let s = find_cell ~who:"deq_batch" q sp i in
+      let s = find_cell ~who:"deq_batch" q (A.get h.head) i in
       A.set h.head s;
-      (match help_enq q h s i with
-      | Henq_empty ->
+      let w = help_enq q h s i in
+      if w == empty_w then begin
         h.stats.fast_dequeues <- h.stats.fast_dequeues + 1;
         h.stats.empty_dequeues <- h.stats.empty_dequeues + 1
-      | Henq_value v when A.compare_and_set s.deqs.(i land q.seg_mask) Deq_bottom Deq_top ->
+      end
+      else if
+        w != top_w && A.compare_and_set s.deqs.(i land q.seg_mask) Deq_bottom Deq_top
+      then begin
         h.stats.fast_dequeues <- h.stats.fast_dequeues + 1;
-        out.(j) <- Some v;
+        out.(j) <- Some (Obj.obj w);
         got := true
-      | Henq_value _ | Henq_top ->
+      end
+      else begin
         if P.enabled then begin
           h.stats.deq_cas_failures <- h.stats.deq_cas_failures + 1;
           h.stats.deq_batch_fallbacks <- h.stats.deq_batch_fallbacks + 1
         end;
-        let v = deq_slow q h i in
+        let w = deq_slow q h i in
         h.stats.slow_dequeues <- h.stats.slow_dequeues + 1;
-        (match v with
-        | None -> h.stats.empty_dequeues <- h.stats.empty_dequeues + 1
-        | Some _ -> got := true);
-        out.(j) <- v;
-        sp := A.get h.head)
+        if w == empty_w then h.stats.empty_dequeues <- h.stats.empty_dequeues + 1
+        else begin
+          out.(j) <- Some (Obj.obj w);
+          got := true
+        end
+      end
     done;
     if !got then begin
       help_deq q h h.deq_peer;
@@ -1257,23 +1338,26 @@ module Internal = struct
   let head_index q = A.get q.head_index
 
   let cell_of q h i =
-    let sp = ref (A.get h.tail) in
-    let s = find_cell ~who:"internal_cell" q sp i in
+    let s = find_cell ~who:"internal_cell" q (A.get h.tail) i in
     A.set h.tail s;
     { cseg = s; coff = i land q.seg_mask; cid = i }
 
-  let poison_cell c = A.compare_and_set c.cseg.values.(c.coff) Bottom Top
+  let poison_cell c = A.compare_and_set c.cseg.values.(c.coff) bottom_w top_w
   let claim_cell_deq c = A.compare_and_set c.cseg.deqs.(c.coff) Deq_bottom Deq_top
 
-  let cell_value c =
-    match A.get c.cseg.values.(c.coff) with Value v -> Some v | Top | Bottom -> None
+  let cell_value (c : 'a cell) : 'a option =
+    let w = A.get c.cseg.values.(c.coff) in
+    if is_value w then Some (Obj.obj w) else None
 
   let enq_slow = enq_slow
-  let deq_slow = deq_slow
 
-  let publish_enq_request h v cell_id =
+  let deq_slow (q : 'a t) (h : 'a handle) cell_id : 'a option =
+    let w = deq_slow q h cell_id in
+    if w == empty_w then None else Some (Obj.obj w)
+
+  let publish_enq_request (h : 'a handle) (v : 'a) cell_id =
     let r = h.enq_req in
-    A.set r.enq_value (Some v);
+    A.set r.enq_value (Obj.repr v);
     A.set r.enq_state (Packed.make ~pending:true ~id:cell_id)
 
   let enq_request_pending h = Packed.pending (A.get h.enq_req.enq_state)
@@ -1289,29 +1373,27 @@ module Internal = struct
 
   let deq_request_pending h = Packed.pending (A.get h.deq_req.deq_state)
 
-  let help_enq q h c i =
+  let help_enq q h (c : 'a cell) i : [ `Value of 'a | `Top | `Empty ] =
     assert (c.cid = i);
-    match help_enq q h c.cseg i with
-    | Henq_value v -> `Value v
-    | Henq_top -> `Top
-    | Henq_empty -> `Empty
+    let w = help_enq q h c.cseg i in
+    if w == empty_w then `Empty else if w == top_w then `Top else `Value (Obj.obj w)
 
   let help_deq q ~helper ~helpee = help_deq q helper helpee
 
-  let deq_request_result q h =
+  let deq_request_result (q : 'a t) (h : 'a handle) : 'a option =
     let i = Packed.id (A.get h.deq_req.deq_state) in
-    let sp = ref (A.get h.head) in
-    let s = find_cell ~who:"internal_res" q sp i in
+    let s = find_cell ~who:"internal_res" q (A.get h.head) i in
     A.set h.head s;
-    let v = A.get s.values.(i land q.seg_mask) in
+    let w = A.get s.values.(i land q.seg_mask) in
     advance_end_for_linearizability q.head_index (i + 1);
-    match v with Top -> None | Value v -> Some v | Bottom -> None
+    if is_value w then Some (Obj.obj w) else None
 
   let cleanup = cleanup
 
   let cell_debug c h =
     let value =
-      match A.get c.cseg.values.(c.coff) with Bottom -> "bot" | Top -> "TOP" | Value _ -> "VAL"
+      let w = A.get c.cseg.values.(c.coff) in
+      if w == bottom_w then "bot" else if w == top_w then "TOP" else "VAL"
     in
     let enq =
       match A.get c.cseg.enqs.(c.coff) with
@@ -1371,6 +1453,6 @@ module Internal = struct
     | `Head -> A.set h.hzdp (A.get h.head)
     | `Tail -> A.set h.hzdp (A.get h.tail)
     | `Null -> A.set h.hzdp q.null_segment
-end
+  end
 
 end

@@ -1,0 +1,26 @@
+(* See wfqueue_int.mli.  A facade over the production instantiation:
+   the generic queue already stores values as bare words (the sentinel
+   plane of [Wfqueue_algo]), so an int rides the value plane as an
+   immediate — the specialization work is all in the API, which routes
+   around the ['a option] boxes. *)
+
+type t = int Wfqueue.t
+type handle = int Wfqueue.handle
+
+let create = Wfqueue.create
+let register = Wfqueue.register
+let retire = Wfqueue.retire
+let domain_handle = Wfqueue.domain_handle
+let enqueue = Wfqueue.enqueue
+let dequeue_or = Wfqueue.dequeue_or
+let dequeue = Wfqueue.dequeue
+let enq_batch = Wfqueue.enq_batch
+let deq_batch = Wfqueue.deq_batch
+let push = Wfqueue.push
+let pop = Wfqueue.pop
+let pop_or q default = dequeue_or q (domain_handle q) default
+let approx_length = Wfqueue.approx_length
+let patience = Wfqueue.patience
+let stats = Wfqueue.stats
+let reset_stats = Wfqueue.reset_stats
+let snapshot = Wfqueue.snapshot

@@ -1,0 +1,53 @@
+(** The int-specialized queue: [int Wfqueue.t] with an API whose whole
+    round trip is allocation-free.
+
+    Since the PR-6 sentinel plane, the generic queue already stores
+    values unboxed (a bare word per cell, no [Value] constructor), so
+    an [int] payload is an immediate end to end — the only remaining
+    hot-path allocation in the generic API is the [Some] box that
+    [Wfqueue.dequeue] must build.  This module fixes the element type
+    and routes dequeues through {!dequeue_or}, making an
+    enqueue/dequeue pair allocate zero minor words on the fast path
+    (pinned by [test/test_alloc.ml]; benched as "wf-int" next to the
+    generic "wf" rows, where the delta prices the option box).
+
+    The handle lifecycle, wait-freedom, and reclamation story are
+    exactly {!Wfqueue}'s — this is the same compiled code. *)
+
+type t = int Wfqueue.t
+type handle = int Wfqueue.handle
+
+val create :
+  ?patience:int -> ?segment_shift:int -> ?max_garbage:int -> ?reclamation:bool -> unit -> t
+
+val register : t -> handle
+val retire : t -> handle -> unit
+val domain_handle : t -> handle
+
+val enqueue : t -> handle -> int -> unit
+(** Wait-free enqueue; an [int] payload never allocates (immediates
+    ride the value plane unboxed). *)
+
+val dequeue_or : t -> handle -> int -> int
+(** [dequeue_or q h default] — the allocation-free dequeue: returns
+    [default] on EMPTY instead of boxing an option.  The caller picks
+    a [default] outside its value domain (e.g. [min_int]). *)
+
+val dequeue : t -> handle -> int option
+(** The option-returning dequeue of the generic API ([Some] box per
+    hit) — for callers that prefer the standard shape over the last
+    two words. *)
+
+val enq_batch : t -> handle -> int array -> unit
+val deq_batch : t -> handle -> int -> int option array
+val push : t -> int -> unit
+val pop : t -> int option
+
+val pop_or : t -> int -> int
+(** {!dequeue_or} with the per-domain implicit handle. *)
+
+val approx_length : t -> int
+val patience : t -> int
+val stats : t -> Op_stats.t
+val reset_stats : t -> unit
+val snapshot : t -> Obs.Snapshot.t
