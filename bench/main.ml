@@ -244,6 +244,14 @@ let () =
   in
   Format.printf "%a@?" Harness.Alloc_bench.pp_rows alloc_rows;
 
+  (* Role-split throughput for the specialized topology variants: each
+     against the general queue under the identical producer/consumer
+     split (the pairs tables above cannot host them — every pairs
+     thread holds both roles, which the specialized contracts reject) *)
+  print_endline "\n== Topology-split throughput (role-split domains) ==";
+  let topology_rows = Harness.Topology_bench.default_rows ~quick:cli.smoke () in
+  Format.printf "%a@?" Harness.Topology_bench.pp_rows topology_rows;
+
   (* Wait-freedom telemetry: the instrumented build's fast/slow-path
      breakdown across patience values (the regression gate reads the
      patience-10 row's slow-path rate from the JSON) *)
@@ -276,6 +284,7 @@ let () =
           ("figure2_pairs", json_of_fig2 fig2_pairs);
           ("false_sharing", json_of_false_sharing fs_results);
           ("alloc_per_op", Harness.Alloc_bench.rows_to_json alloc_rows);
+          ("topology_mops", Harness.Topology_bench.rows_to_json topology_rows);
           ("telemetry", Harness.Telemetry.table_to_json telemetry_rows);
         ]
     in

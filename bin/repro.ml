@@ -361,6 +361,10 @@ let shard_cmd =
     let worker d () =
       if d < victims then Domain.DLS.set is_victim true;
       let h = R.register t in
+      (* one reusable dequeue buffer per domain: the caller-buffer
+         batch API keeps the storm's hot loop allocation-free (the
+         tail batch, if shorter, reuses a prefix via a throwaway) *)
+      let buf = Array.make batch (-1) in
       Fun.protect ~finally:(fun () -> R.retire t h) @@ fun () ->
       try
         let i = ref 0 in
@@ -369,9 +373,11 @@ let shard_cmd =
           R.enq_batch t h (Array.init k (fun j -> (d * ops) + !i + j));
           i := !i + k;
           venq.(d) <- !i;
-          Array.iter
-            (function Some v -> got.(d) := v :: !(got.(d)) | None -> ())
-            (R.deq_batch t h k)
+          let out = if k = batch then buf else Array.make k (-1) in
+          let n = R.deq_batch_into t h out ~default:(-1) in
+          for j = 0 to n - 1 do
+            got.(d) := out.(j) :: !(got.(d))
+          done
         done;
         outcome.(d) <- "completed"
       with Inject.Killed p ->
@@ -484,6 +490,253 @@ let shard_cmd =
           & info [ "kill" ]
               ~doc:"Arm Die: victim domains crash mid-protocol (batch windows included)."))
 
+(* Role-split storm on the injectable topology variants.  Producers
+   and consumers are separate domains laid out to the variant's
+   contract (spsc 1p/1c, mpsc (N-1)p/1c, spmc 1p/(N-1)c; adaptive runs
+   all-pairs so every domain's first dequeue forces the degrade
+   switches).  Victims park or die at the Topology-class injection
+   points; afterwards the driver drains and audits conservation — no
+   duplicate, no alien value, and no more missing than the kills can
+   strand (one in-flight value per kill). *)
+type topo_ops = { tenq : int -> unit; tdeq_or : int -> int; tfin : unit -> unit }
+
+let topology_cmd =
+  let run variant threads victims seed ops park kill =
+    if threads < 2 then begin
+      prerr_endline "repro topology: need at least two domains (one per role)";
+      exit 2
+    end;
+    (* producer/consumer split per variant; adaptive = all-pairs *)
+    let np, nc, pairs =
+      match variant with
+      | "spsc" -> (1, 1, false)
+      | "mpsc" -> (threads - 1, 1, false)
+      | "spmc" -> (1, threads - 1, false)
+      | "adaptive" -> (threads, 0, true)
+      | v ->
+        Printf.eprintf "repro topology: unknown variant %S (spsc|mpsc|spmc|adaptive)\n" v;
+        exit 2
+    in
+    let threads = np + nc in
+    let reg, pp_state =
+      match variant with
+      | "spsc" ->
+        let module Q = Topology.Spsc_inject in
+        let q = Q.create () in
+        ( (fun () ->
+            let h = Q.register q in
+            {
+              tenq = (fun v -> Q.enqueue q h v);
+              tdeq_or = (fun d -> Q.dequeue_or q h d);
+              tfin = (fun () -> Q.retire q h);
+            }),
+          fun fmt -> Obs.Snapshot.pp fmt (Q.snapshot q) )
+      | "mpsc" ->
+        let module Q = Topology.Mpsc_inject in
+        let q = Q.create () in
+        ( (fun () ->
+            let h = Q.register q in
+            {
+              tenq = (fun v -> Q.enqueue q h v);
+              tdeq_or = (fun d -> Q.dequeue_or q h d);
+              tfin = (fun () -> Q.retire q h);
+            }),
+          fun fmt -> Obs.Snapshot.pp fmt (Q.snapshot q) )
+      | "spmc" ->
+        let module Q = Topology.Spmc_inject in
+        let q = Q.create () in
+        ( (fun () ->
+            let h = Q.register q in
+            {
+              tenq = (fun v -> Q.enqueue q h v);
+              tdeq_or = (fun d -> Q.dequeue_or q h d);
+              tfin = (fun () -> Q.retire q h);
+            }),
+          fun fmt -> Obs.Snapshot.pp fmt (Q.snapshot q) )
+      | _ ->
+        let module Q = Topology.Adaptive_inject in
+        let q = Q.create () in
+        ( (fun () ->
+            let h = Q.register q in
+            {
+              tenq = (fun v -> Q.enqueue q h v);
+              tdeq_or = (fun d -> Q.dequeue_or q h d);
+              tfin = (fun () -> Q.retire q h);
+            }),
+          fun fmt ->
+            Format.fprintf fmt "adaptive backend: %s after %d switch(es)@.%a" (Q.mode q)
+              (Q.switches q) Obs.Snapshot.pp (Q.snapshot q) )
+    in
+    let victims =
+      match victims with
+      | Some k -> max 0 (min k threads)
+      | None -> if kill then max 1 (threads / 2) else 0
+    in
+    let plan = Inject.Plan.make ~park ~lethal:kill ~seed:(Int64.of_int seed) () in
+    Inject.reset_stats ();
+    Inject.set_park (fun n -> Unix.sleepf (float_of_int n *. 1e-6));
+    let is_victim = Domain.DLS.new_key (fun () -> false) in
+    if victims > 0 then
+      Inject.install (fun p ->
+          if Domain.DLS.get is_victim then Inject.Plan.decide plan p else Inject.Continue);
+    Printf.printf
+      "Topology storm: %s, %d producer(s) + %d consumer(s)%s (%d victims), %d values/producer\n\
+      \  plan: %s\n\
+       %!"
+      variant np nc
+      (if pairs then " (all-pairs)" else "")
+      victims ops (Inject.Plan.describe plan);
+    let got = Array.init threads (fun _ -> ref []) in
+    let venq = Array.make threads 0 in
+    let outcome = Array.make threads "spawn failed" in
+    let killed = Array.make threads false in
+    let producers_live = Atomic.make np in
+    let worker d () =
+      if d < victims then Domain.DLS.set is_victim true;
+      let o = reg () in
+      let is_producer = d < np in
+      Fun.protect ~finally:(fun () ->
+          if is_producer then Atomic.decr producers_live;
+          o.tfin ())
+      @@ fun () ->
+      try
+        if pairs then
+          for i = 0 to ops - 1 do
+            o.tenq ((d * ops) + i);
+            venq.(d) <- i + 1;
+            let v = o.tdeq_or min_int in
+            if v <> min_int then got.(d) := v :: !(got.(d))
+          done
+        else if is_producer then
+          for i = 0 to ops - 1 do
+            o.tenq ((d * ops) + i);
+            venq.(d) <- i + 1
+          done
+        else begin
+          (* consume until the producers are gone and the queue reads
+             empty; wait-freedom bounds each probe, so only a genuinely
+             empty queue parks us on cpu_relax *)
+          let live = ref true in
+          while !live do
+            let v = o.tdeq_or min_int in
+            if v <> min_int then got.(d) := v :: !(got.(d))
+            else if Atomic.get producers_live = 0 then live := false
+            else Domain.cpu_relax ()
+          done
+        end;
+        outcome.(d) <- "completed"
+      with Inject.Killed p ->
+        killed.(d) <- true;
+        outcome.(d) <- "killed @ " ^ Inject.point_name p
+    in
+    let domains = List.init threads (fun d -> Domain.spawn (worker d)) in
+    List.iter Domain.join domains;
+    if victims > 0 then Inject.remove ();
+    (* post-storm drain with a fresh handle: every retired consumer
+       released its role seat, so the drain can claim it *)
+    let o = reg () in
+    let drained = ref [] in
+    let continue_ = ref true in
+    while !continue_ do
+      let v = o.tdeq_or min_int in
+      if v <> min_int then drained := v :: !drained else continue_ := false
+    done;
+    o.tfin ();
+    let kills = (Inject.total_stats ()).Inject.kills in
+    let failures = ref 0 in
+    Printf.printf "\n";
+    Array.iteri
+      (fun d oc ->
+        let role =
+          if pairs then "pairs"
+          else if d < np then "producer"
+          else "consumer"
+        in
+        let victim = if d < victims then " victim " else " "
+        in
+        Printf.printf "  domain %2d %-9s%s%-32s %7d enq, %7d deq\n" d role victim oc venq.(d)
+          (List.length !(got.(d)));
+        if (not killed.(d)) && (d < np || pairs) && venq.(d) < ops then incr failures)
+      outcome;
+    (* conservation audit, batch = 1: a kill strands at most one value *)
+    let all =
+      List.sort compare (!drained @ List.concat_map (fun r -> !r) (Array.to_list got))
+    in
+    let violations = ref [] in
+    let rec dups = function
+      | a :: (b :: _ as tl) ->
+        if a = b then violations := Printf.sprintf "value %d dequeued twice" a :: !violations;
+        dups tl
+      | _ -> ()
+    in
+    dups all;
+    List.iter
+      (fun v ->
+        let d = v / ops and i = v mod ops in
+        if d < 0 || d >= threads || (i >= venq.(d) && not (killed.(d) && i < venq.(d) + 1)) then
+          violations := Printf.sprintf "alien value %d" v :: !violations)
+      all;
+    let missing = ref 0 in
+    let present = Hashtbl.create (List.length all + 1) in
+    List.iter (fun v -> Hashtbl.replace present v ()) all;
+    Array.iteri
+      (fun d n ->
+        for i = 0 to n - 1 do
+          if not (Hashtbl.mem present ((d * ops) + i)) then incr missing
+        done)
+      venq;
+    if !missing > kills then
+      violations :=
+        Printf.sprintf "%d values missing but only %d kill(s)" !missing kills :: !violations;
+    Printf.printf "  %d value(s) drained post-storm, %d missing (%d kill(s) allowed)\n"
+      (List.length !drained) !missing kills;
+    Format.printf "@.%t@." pp_state;
+    if victims > 0 then Format.printf "@.Injected faults:@.%a" Inject.pp_stats ();
+    if !failures > 0 || !violations <> [] then begin
+      List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) !violations;
+      if !failures > 0 then
+        Printf.printf "FAIL: %d unkilled domain(s) did not complete — replay with --seed %d\n"
+          !failures seed;
+      exit 1
+    end
+    else
+      Printf.printf "\nOK: values conserved under the %s topology (%d kill(s) absorbed).\n" variant
+        kills
+  in
+  Cmd.v
+    (Cmd.info "topology"
+       ~doc:
+         "Role-split storm on a specialized topology variant (or the adaptive queue): \
+          producers and consumers laid out per the variant's contract, optional fault \
+          injection at the Topology-class protocol points, conservation audited")
+    Term.(
+      const run
+      $ Arg.(
+          value
+          & opt string "adaptive"
+          & info [ "variant" ] ~docv:"V" ~doc:"Variant: spsc, mpsc, spmc or adaptive.")
+      $ Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N" ~doc:"Storm domains (>= 2).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "victims" ] ~docv:"K"
+              ~doc:"Domains subject to the fault plan (default: half when --kill, else none).")
+      $ Arg.(
+          value
+          & opt int 42
+          & info [ "seed" ] ~docv:"SEED" ~doc:"Fault-plan seed; a failure replays from it.")
+      $ Arg.(
+          value & opt int 20_000 & info [ "ops" ] ~docv:"N" ~doc:"Values enqueued per producer.")
+      $ Arg.(
+          value
+          & opt int 200
+          & info [ "park" ] ~docv:"UNITS"
+              ~doc:"Stall length in park units (one unit is 1us in this driver).")
+      $ Arg.(
+          value
+          & flag
+          & info [ "kill" ] ~doc:"Arm Die: victim domains crash mid-protocol."))
+
 let list_cmd =
   let run () =
     List.iter
@@ -529,6 +782,7 @@ let () =
             stats_cmd;
             inject_cmd;
             shard_cmd;
+            topology_cmd;
             list_cmd;
             all_cmd;
           ]))

@@ -30,9 +30,19 @@ val measure :
     60k warm-up pairs (several cleanup cycles at the default segment
     geometry), 20k measured pairs, option-returning dequeue. *)
 
+val measure_batch_into : ?warmup_pairs:int -> ?pairs:int -> ?batch:int -> unit -> row
+(** Steady-state words/op of the caller-buffer batch API
+    ([Wfqueue.enq_batch] + [Wfqueue.deq_batch_into] on the int queue):
+    per-batch [Gc.minor_words] windows divided by [batch] (default 64),
+    so the row reads in the same unit as the per-op rows.  Zero is the
+    claim: no [Some] per cell, no result array, no batching-facade
+    state. *)
+
 val default_rows : ?warmup_pairs:int -> ?pairs:int -> unit -> row list
 (** The gated set: wf-10 (option API), wf-10-deq-or, wf-10-obs-deq-or,
-    wf-int-10. *)
+    wf-int-10, wf-10-deq-batch-into-64, and the topology variants
+    (wf-spsc, wf-mpsc, wf-spmc, wf-shard-adaptive) which must hold the
+    same hot-path zero. *)
 
 val row_to_json : row -> Json.t
 val rows_to_json : row list -> Json.t

@@ -85,17 +85,52 @@ val wf_batch : ?batch:int -> ?patience:int -> ?name:string -> unit -> factory
     them, so cross-thread visibility is batch-delayed — the documented
     trade of the batching deployment shape. *)
 
+val wf_spsc :
+  ?segment_shift:int -> ?max_garbage:int -> ?reclamation:bool -> ?name:string -> unit -> factory
+(** The specialized SPSC variant ([Topology.Spsc]): plain load/store
+    cell handshake, no FAA or CAS on the hot path.  The single bench
+    handle legally holds both roles; a concurrent second producer or
+    consumer would be rejected by the role claim, so this factory is
+    in {!all} (single-threaded pair) but not {!figure2_set} — its
+    multi-threaded numbers come from [Topology_bench]. *)
+
+val wf_mpsc :
+  ?segment_shift:int -> ?max_garbage:int -> ?reclamation:bool -> ?name:string -> unit -> factory
+(** The specialized MPSC variant ([Topology.Mpsc]): FAA-ticketed
+    producers, CAS-free single consumer.  Same registration rules as
+    {!wf_spsc}. *)
+
+val wf_spmc :
+  ?segment_shift:int -> ?max_garbage:int -> ?reclamation:bool -> ?name:string -> unit -> factory
+(** The specialized SPMC variant ([Topology.Spmc]): FAA-ticketed
+    consumers, CAS-free single producer.  Same registration rules as
+    {!wf_spsc}. *)
+
+val wf_shard_adaptive :
+  ?shards:int -> ?capacity:int -> ?rebalance_every:int -> ?name:string -> unit -> factory
+(** Sharded router over topology-adaptive shards ([Shard.Adaptive]):
+    each shard starts SPSC and degrades toward the general queue as
+    roles accumulate.  Safe in any workload, so it joins
+    {!figure2_set} too.  The seen-role counters are monotone, so the
+    bechamel allocate/free cycle (fresh handle per run) degrades the
+    shards after the first cycle — the steady state measured is the
+    general backend plus dispatch, the honest number for
+    handle-churning callers. *)
+
 val all : factory list
 (** The evaluation set: wf-10, wf-0, wf-10-obs (instrumented), wf-int-10
     (int-specialized API), wf-shard-2/8 (sharded router), wf-batch-8
-    (FAA batching), wf-llsc
+    (FAA batching), wf-spsc/wf-mpsc/wf-spmc (specialized topology
+    variants), wf-shard-adaptive, wf-llsc
     (CAS-emulated FAA, the paper's Power7 configuration), lcrq,
     ccqueue, msqueue, kp (Kogan-Petrank), two-lock, mutex, faa. *)
 
 val figure2_set : factory list
 (** The queues plotted in Figure 2 (all of [all] except the extra
-    blocking baselines), plus the sharded/batched variants so the
-    scaling tables cover them. *)
+    blocking baselines), plus the sharded/batched/adaptive variants so
+    the scaling tables cover them.  The raw specialized variants are
+    excluded: the multi-thread pairs workload violates their topology
+    contract by construction. *)
 
 val find : string -> factory option
 val names : unit -> string list

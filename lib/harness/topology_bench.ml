@@ -1,0 +1,134 @@
+(* See topology_bench.mli. *)
+
+type row = {
+  tname : string;
+  topology : string;
+  producers : int;
+  consumers : int;
+  total_ops : int;
+  elapsed_s : float;
+  mops : float;
+}
+
+(* One timed run of a fresh instance: [producers] enqueue-only domains
+   and [consumers] dequeue-only domains rendezvous on a barrier (spawn
+   and registration latency outside the timed region), then the clock
+   runs until every produced value has been consumed.  EMPTY is
+   [min_int]; produced payloads are non-negative, so no collision. *)
+let run_split (factory : Queues.factory) ~producers ~consumers ~values =
+  let instance = factory.Queues.make () in
+  let per_prod = values / producers in
+  let total = per_prod * producers in
+  let remaining = Atomic.make total in
+  let barrier = Sync.Barrier.create (producers + consumers + 1) in
+  let prods =
+    List.init producers (fun p ->
+        Domain.spawn (fun () ->
+            let ops = instance.Queues.register () in
+            Sync.Barrier.await barrier;
+            let base = p * per_prod in
+            for i = 0 to per_prod - 1 do
+              ops.Queues.enqueue (base + i)
+            done;
+            ops.Queues.release ()))
+  in
+  let cons =
+    List.init consumers (fun _ ->
+        Domain.spawn (fun () ->
+            let ops = instance.Queues.register () in
+            Sync.Barrier.await barrier;
+            if consumers = 1 then begin
+              (* sole consumer: no shared termination counter needed *)
+              let n = ref 0 in
+              while !n < total do
+                if ops.Queues.dequeue_or min_int <> min_int then incr n
+                else Domain.cpu_relax ()
+              done;
+              Atomic.set remaining 0
+            end
+            else begin
+              let live = ref true in
+              while !live do
+                if ops.Queues.dequeue_or min_int <> min_int then begin
+                  if Atomic.fetch_and_add remaining (-1) = 1 then live := false
+                end
+                else if Atomic.get remaining <= 0 then live := false
+                else Domain.cpu_relax ()
+              done
+            end;
+            ops.Queues.release ()))
+  in
+  Sync.Barrier.await barrier;
+  let t0 = Primitives.Clock.now () in
+  List.iter Domain.join prods;
+  List.iter Domain.join cons;
+  let elapsed_s = Primitives.Clock.now () -. t0 in
+  (total, elapsed_s)
+
+let run_case ?(reps = 3) (factory : Queues.factory) ~producers ~consumers ~values =
+  if producers < 1 || consumers < 1 then
+    invalid_arg "Topology_bench.run_case: producers and consumers must be >= 1";
+  let best_total = ref 0 and best_elapsed = ref infinity in
+  for _ = 1 to reps do
+    let total, elapsed_s = run_split factory ~producers ~consumers ~values in
+    if elapsed_s < !best_elapsed then begin
+      best_total := total;
+      best_elapsed := elapsed_s
+    end
+  done;
+  let total_ops = 2 * !best_total in
+  {
+    tname = factory.Queues.name;
+    topology = Printf.sprintf "%dp%dc" producers consumers;
+    producers;
+    consumers;
+    total_ops;
+    elapsed_s = !best_elapsed;
+    mops = float_of_int total_ops /. !best_elapsed /. 1e6;
+  }
+
+let default_rows ?(quick = false) () =
+  let values = if quick then 60_000 else 400_000 in
+  let reps = if quick then 2 else 5 in
+  let general = Queues.wf ~patience:10 () in
+  let case f ~p ~c = run_case ~reps f ~producers:p ~consumers:c ~values in
+  [
+    (* the handshake variant and the general queue on its home ground *)
+    case (Queues.wf_spsc ()) ~p:1 ~c:1;
+    case general ~p:1 ~c:1;
+    (* fan-in: FAA producers, CAS-free consumer *)
+    case (Queues.wf_mpsc ()) ~p:3 ~c:1;
+    case general ~p:3 ~c:1;
+    (* fan-out: CAS-free producer, FAA consumers *)
+    case (Queues.wf_spmc ()) ~p:1 ~c:3;
+    case general ~p:1 ~c:3;
+    (* router vs router: adaptive shards hold their SPSC backend under
+       this split (one producer, one consumer, no churn) *)
+    case (Queues.wf_shard_adaptive ()) ~p:1 ~c:1;
+    case (Queues.wf_shard ~shards:2 ()) ~p:1 ~c:1;
+  ]
+
+let row_to_json r =
+  Json.Obj
+    [
+      ("name", Json.String r.tname);
+      ("topology", Json.String r.topology);
+      ("producers", Json.Int r.producers);
+      ("consumers", Json.Int r.consumers);
+      ("total_ops", Json.Int r.total_ops);
+      ("elapsed_s", Json.Float r.elapsed_s);
+      ("mops", Json.Float r.mops);
+    ]
+
+let rows_to_json rows = Json.List (List.map row_to_json rows)
+
+let pp_rows fmt rows =
+  let line = String.make 58 '-' in
+  Format.fprintf fmt "%s@\n" line;
+  Format.fprintf fmt "%-20s %8s %10s %12s@\n" "queue" "split" "ops" "Mops/s";
+  Format.fprintf fmt "%s@\n" line;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-20s %8s %10d %12.3f@\n" r.tname r.topology r.total_ops r.mops)
+    rows;
+  Format.fprintf fmt "%s@\n" line

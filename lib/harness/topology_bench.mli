@@ -1,0 +1,47 @@
+(** Role-split throughput for the specialized topology variants.
+
+    {!Runner}'s pairs workload gives every thread both roles, which is
+    exactly what the topology contracts forbid: a wf-spsc instance
+    under a 4-thread pairs run would reject the second producer.  This
+    harness splits roles across domains instead — [producers] domains
+    that only enqueue, [consumers] domains that only dequeue — so each
+    specialized variant runs the topology it was built for, and the
+    general queue runs the {e same} split for an apples-to-apples
+    comparison (same bodies, same rendezvous, same accounting).
+
+    Producers enqueue a fixed share each and exit; consumers spin on
+    [dequeue_or] until every produced value has been taken, so the
+    measured region covers the full production and consumption of
+    [values] items.  Failed (EMPTY) dequeue probes are not counted as
+    operations but their time is in the denominator — idle-consumer
+    spin is part of the split's honest cost.
+
+    Single-core caveat (same as the Figure-2 tables): domains
+    timeslice on one core, so these numbers compare instruction-path
+    cost under forced interleaving, not parallel scaling. *)
+
+type row = {
+  tname : string;  (** queue under test, e.g. ["wf-mpsc"] *)
+  topology : string;  (** e.g. ["3p1c"] *)
+  producers : int;
+  consumers : int;
+  total_ops : int;  (** enqueues + successful dequeues = 2 × values *)
+  elapsed_s : float;  (** best rep's wall time *)
+  mops : float;  (** total_ops / elapsed, millions per second *)
+}
+
+val run_case :
+  ?reps:int -> Queues.factory -> producers:int -> consumers:int -> values:int -> row
+(** Run [reps] (default 3) fresh instances of the split and keep the
+    fastest, the usual noise floor for wall-clock microbenchmarks.
+    [values] is rounded down to a multiple of [producers]. *)
+
+val default_rows : ?quick:bool -> unit -> row list
+(** The specialized-vs-general ladder: wf-spsc vs wf-10 at 1p1c,
+    wf-mpsc vs wf-10 at 3p1c, wf-spmc vs wf-10 at 1p3c, and
+    wf-shard-adaptive vs wf-shard-2 at 1p1c (router vs router, where
+    the adaptive shards stay on their SPSC backend).  [quick] shrinks
+    [values] for the CI smoke run. *)
+
+val rows_to_json : row list -> Json.t
+val pp_rows : Format.formatter -> row list -> unit

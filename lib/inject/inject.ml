@@ -12,9 +12,16 @@ type point =
   | Help_deq_pre_close
   | Cleanup_token_held
   | Hazard_published
+  | Topo_enq_pending
+  | Topo_deq_pending
+  | Topo_switch_draining
 
-type cls = Enqueue | Dequeue | Batch | Helping | Cleanup | Hazard
+type cls = Enqueue | Dequeue | Batch | Helping | Cleanup | Hazard | Topology
 
+(* New points append at the end of [all_points]: [Plan.make] draws its
+   per-point ordinals in this order, so appending keeps the arming of
+   every pre-existing point identical for a given seed (storm replays
+   recorded against older baselines stay valid). *)
 let all_points =
   [
     Enq_fast_after_faa;
@@ -28,6 +35,9 @@ let all_points =
     Help_deq_pre_close;
     Cleanup_token_held;
     Hazard_published;
+    Topo_enq_pending;
+    Topo_deq_pending;
+    Topo_switch_draining;
   ]
 
 let index = function
@@ -42,6 +52,9 @@ let index = function
   | Help_deq_pre_close -> 8
   | Cleanup_token_held -> 9
   | Hazard_published -> 10
+  | Topo_enq_pending -> 11
+  | Topo_deq_pending -> 12
+  | Topo_switch_draining -> 13
 
 let n_points = List.length all_points
 
@@ -52,6 +65,7 @@ let class_of = function
   | Help_enq_pre_claim | Help_deq_pre_close -> Helping
   | Cleanup_token_held -> Cleanup
   | Hazard_published -> Hazard
+  | Topo_enq_pending | Topo_deq_pending | Topo_switch_draining -> Topology
 
 let point_name = function
   | Enq_fast_after_faa -> "enq_fast_after_faa"
@@ -65,6 +79,9 @@ let point_name = function
   | Help_deq_pre_close -> "help_deq_pre_close"
   | Cleanup_token_held -> "cleanup_token_held"
   | Hazard_published -> "hazard_published"
+  | Topo_enq_pending -> "topo_enq_pending"
+  | Topo_deq_pending -> "topo_deq_pending"
+  | Topo_switch_draining -> "topo_switch_draining"
 
 let class_name = function
   | Enqueue -> "enqueue"
@@ -73,6 +90,7 @@ let class_name = function
   | Helping -> "helping"
   | Cleanup -> "cleanup"
   | Hazard -> "hazard"
+  | Topology -> "topology"
 
 let points_of_class c = List.filter (fun p -> class_of p = c) all_points
 

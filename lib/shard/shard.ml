@@ -17,8 +17,10 @@ module type QUEUE = sig
   val retire : 'a t -> 'a handle -> unit
   val enqueue : 'a t -> 'a handle -> 'a -> unit
   val dequeue : 'a t -> 'a handle -> 'a option
+  val dequeue_or : 'a t -> 'a handle -> 'a -> 'a
   val enq_batch : 'a t -> 'a handle -> 'a array -> unit
   val deq_batch : 'a t -> 'a handle -> int -> 'a option array
+  val deq_batch_into : 'a t -> 'a handle -> 'a array -> default:'a -> int
   val approx_length : 'a t -> int
   val snapshot : 'a t -> Obs.Snapshot.t
   val reset_stats : 'a t -> unit
@@ -103,78 +105,80 @@ module Router (A : Primitives.Atomic_prims.S) (Q : QUEUE) = struct
 
   let has_room t s k = Q.approx_length t.shards.(s) + k <= t.capacity
 
-  (* Find a shard with room for [k] more values, home first: [Some s]
-     rebalances onto [s], [None] means all full right now. *)
-  let find_room t h k =
-    let rec scan j =
-      if j = t.n then None
-      else
-        let s = (h.enq_shard + j) mod t.n in
-        if has_room t s k then Some s else scan (j + 1)
-    in
-    scan 0
+  (* Shard indices travel as bare ints ([-1] = all full right now):
+     an option per routed value would be the router's only hot-path
+     allocation, and the alloc gate holds it to the same zero as the
+     shards underneath. *)
+
+  (* Find a shard with room for [k] more values, home first. *)
+  let rec find_room t h k j =
+    if j = t.n then -1
+    else
+      let s = (h.enq_shard + j) mod t.n in
+      if has_room t s k then s else find_room t h k (j + 1)
 
   let enq_one t h s v = Q.enqueue t.shards.(s) h.hs.(s) v
 
-  (* [Some s] = enqueued to shard [s]; [None] = all shards full. *)
   let try_enqueue_shard t h v =
     if t.capacity = max_int then begin
       let s = h.enq_shard in
       enq_one t h s v;
       after_enqueue t h 1;
-      Some s
+      s
     end
-    else
-      match find_room t h 1 with
-      | Some s ->
+    else begin
+      let s = find_room t h 1 0 in
+      if s >= 0 then begin
         move_home t h s;
         enq_one t h s v;
-        after_enqueue t h 1;
-        Some s
-      | None ->
-        ignore (A.fetch_and_add t.blocked 1);
-        None
+        after_enqueue t h 1
+      end
+      else ignore (A.fetch_and_add t.blocked 1);
+      s
+    end
 
-  let try_enqueue t h v = Option.is_some (try_enqueue_shard t h v)
+  let try_enqueue t h v = try_enqueue_shard t h v >= 0
 
   let rec enqueue' t h v =
-    match try_enqueue_shard t h v with
-    | Some s -> s
-    | None ->
+    let s = try_enqueue_shard t h v in
+    if s >= 0 then s
+    else begin
       A.cpu_relax ();
       enqueue' t h v
+    end
 
   let enqueue t h v = ignore (enqueue' t h v)
   let enqueue_exn t h v = if not (try_enqueue t h v) then raise Would_block
 
   let try_enq_batch_shard t h vs =
     let k = Array.length vs in
-    if k = 0 then Some h.enq_shard
+    if k = 0 then h.enq_shard
     else if t.capacity = max_int then begin
       let s = h.enq_shard in
       Q.enq_batch t.shards.(s) h.hs.(s) vs;
       after_enqueue t h k;
-      Some s
+      s
     end
-    else
-      match find_room t h k with
-      | Some s ->
+    else begin
+      let s = find_room t h k 0 in
+      if s >= 0 then begin
         move_home t h s;
         Q.enq_batch t.shards.(s) h.hs.(s) vs;
-        after_enqueue t h k;
-        Some s
-      | None ->
-        ignore (A.fetch_and_add t.blocked 1);
-        None
+        after_enqueue t h k
+      end
+      else ignore (A.fetch_and_add t.blocked 1);
+      s
+    end
 
-  let try_enq_batch t h vs = Option.is_some (try_enq_batch_shard t h vs)
+  let try_enq_batch t h vs = try_enq_batch_shard t h vs >= 0
 
   let rec enq_batch' t h vs =
-    match try_enq_batch_shard t h vs with
-    | Some s -> s
-    | None ->
+    let s = try_enq_batch_shard t h vs in
+    if s >= 0 then s
+    else begin
       A.cpu_relax ();
       enq_batch' t h vs
+    end
 
   let enq_batch t h vs = ignore (enq_batch' t h vs)
   let enq_batch_exn t h vs = if not (try_enq_batch t h vs) then raise Would_block
@@ -188,19 +192,40 @@ module Router (A : Primitives.Atomic_prims.S) (Q : QUEUE) = struct
      relaxed contract's EMPTY clause (each shard individually observed
      empty during the interval), with no reliance on the racy
      [approx_length]. *)
+  let rec deq_scan t h start j =
+    if j = t.n then None
+    else
+      let s = (start + j) mod t.n in
+      match Q.dequeue t.shards.(s) h.hs.(s) with
+      | Some _ as v ->
+        if j > 0 then ignore (A.fetch_and_add t.steals 1);
+        v
+      | None -> deq_scan t h start (j + 1)
+
   let dequeue t h =
     let start = A.fetch_and_add t.deq_cursor 1 mod t.n in
-    let rec scan j =
-      if j = t.n then None
-      else
-        let s = (start + j) mod t.n in
-        match Q.dequeue t.shards.(s) h.hs.(s) with
-        | Some _ as v ->
-          if j > 0 then ignore (A.fetch_and_add t.steals 1);
-          v
-        | None -> scan (j + 1)
-    in
-    scan 0
+    deq_scan t h start 0
+
+  (* The allocation-free dequeue: the same rotation scan through the
+     per-shard [dequeue_or], with the hit test by physical inequality.
+     Callers must pick a [default] physically distinct from any stored
+     value (immediates — ints, constant constructors — compare by
+     identity, so e.g. [min_int] is safe for int payloads); see
+     [Wfqueue.dequeue_or] for the contract this inherits. *)
+  let rec deq_or_scan t h default start j =
+    if j = t.n then default
+    else
+      let s = (start + j) mod t.n in
+      let v = Q.dequeue_or t.shards.(s) h.hs.(s) default in
+      if v != default then begin
+        if j > 0 then ignore (A.fetch_and_add t.steals 1);
+        v
+      end
+      else deq_or_scan t h default start (j + 1)
+
+  let dequeue_or t h default =
+    let start = A.fetch_and_add t.deq_cursor 1 mod t.n in
+    deq_or_scan t h default start 0
 
   (* A shard that looks non-empty gets the full k-ticket batch; one
      that looks empty gets a single-ticket probe, so an imprecise
@@ -229,6 +254,46 @@ module Router (A : Primitives.Atomic_prims.S) (Q : QUEUE) = struct
         end
       in
       scan 0
+    end
+
+  (* Allocation-free batch dequeue: same probing discipline as
+     [deq_batch] — a full-width [deq_batch_into] on a shard that looks
+     non-empty, a single [dequeue_or] probe on one that looks empty —
+     but values land bare in the caller's buffer, so the router adds
+     zero allocations to the per-shard zero.  Same physically-distinct
+     [default] contract as [dequeue_or]. *)
+  let rec deq_into_scan t h (out : 'a array) default k start j =
+    if j = t.n then begin
+      Array.fill out 0 k default;
+      0
+    end
+    else
+      let s = (start + j) mod t.n in
+      if Q.approx_length t.shards.(s) > 0 then begin
+        let n = Q.deq_batch_into t.shards.(s) h.hs.(s) out ~default in
+        if n > 0 then begin
+          if j > 0 then ignore (A.fetch_and_add t.steals 1);
+          n
+        end
+        else deq_into_scan t h out default k start (j + 1)
+      end
+      else begin
+        let v = Q.dequeue_or t.shards.(s) h.hs.(s) default in
+        if v != default then begin
+          if j > 0 then ignore (A.fetch_and_add t.steals 1);
+          out.(0) <- v;
+          Array.fill out 1 (k - 1) default;
+          1
+        end
+        else deq_into_scan t h out default k start (j + 1)
+      end
+
+  let deq_batch_into t h (out : 'a array) ~default =
+    let k = Array.length out in
+    if k = 0 then 0
+    else begin
+      let start = A.fetch_and_add t.deq_cursor 1 mod t.n in
+      deq_into_scan t h out default k start 0
     end
 
   (* ---------------------------------------------------------------- *)
@@ -266,3 +331,12 @@ end
 module Wf = Router (Primitives.Atomic_prims.Real) (Wfq.Wfqueue)
 module Wf_obs = Router (Primitives.Atomic_prims.Real) (Wfq.Wfqueue_obs)
 module Storm = Router (Primitives.Atomic_prims.Real) (Wfq.Wfqueue_inject)
+
+(* Topology-adaptive shards: each shard starts on the cheapest
+   specialized variant and degrades to the general queue as the
+   router's handles reveal roles on it (Topology.Adaptive satisfies
+   QUEUE, so the Router text is reused verbatim — which is also the
+   compile-out proof: the production Router never links the storm
+   variants). *)
+module Adaptive = Router (Primitives.Atomic_prims.Real) (Topology.Adaptive)
+module Adaptive_storm = Router (Primitives.Atomic_prims.Real) (Topology.Adaptive_inject)

@@ -49,7 +49,10 @@
 
 (** The queue interface the router composes: what every
     [Wfqueue_algo.Make] instantiation ([Wfqueue], [Wfqueue_obs],
-    [Wfqueue_inject], the simulated queue) provides. *)
+    [Wfqueue_inject], the simulated queue) and every specialized
+    [Topology] variant provides.  [dequeue_or] and [deq_batch_into]
+    are the allocation-free entry points (physically-distinct
+    [default] contract; see [Wfqueue.dequeue_or]). *)
 module type QUEUE = sig
   type 'a t
   type 'a handle
@@ -66,8 +69,10 @@ module type QUEUE = sig
   val retire : 'a t -> 'a handle -> unit
   val enqueue : 'a t -> 'a handle -> 'a -> unit
   val dequeue : 'a t -> 'a handle -> 'a option
+  val dequeue_or : 'a t -> 'a handle -> 'a -> 'a
   val enq_batch : 'a t -> 'a handle -> 'a array -> unit
   val deq_batch : 'a t -> 'a handle -> int -> 'a option array
+  val deq_batch_into : 'a t -> 'a handle -> 'a array -> default:'a -> int
   val approx_length : 'a t -> int
   val snapshot : 'a t -> Obs.Snapshot.t
   val reset_stats : 'a t -> unit
@@ -142,6 +147,14 @@ module Router (A : Primitives.Atomic_prims.S) (Q : QUEUE) : sig
       through a real dequeue — each shard was individually observed
       empty at some point inside this call's interval. *)
 
+  val dequeue_or : 'a t -> 'a handle -> 'a -> 'a
+  (** Allocation-free {!dequeue}: the same rotation scan through the
+      shards' [dequeue_or], returning [default] only after every shard
+      answered EMPTY through a real dequeue.  The caller must pick a
+      [default] physically distinct from any stored value (for
+      immediates like [int], any value outside the stored domain, e.g.
+      [min_int]). *)
+
   val enq_batch : 'a t -> 'a handle -> 'a array -> unit
   (** The whole batch goes to the home shard with one tail FAA
       ([Wfqueue.enq_batch]), so a batch preserves its internal order
@@ -163,6 +176,14 @@ module Router (A : Primitives.Atomic_prims.S) (Q : QUEUE) : sig
       an EMPTY.  Returns the first shard answer containing at least
       one value, or an all-[None] array once every shard really
       answered EMPTY. *)
+
+  val deq_batch_into : 'a t -> 'a handle -> 'a array -> default:'a -> int
+  (** Allocation-free {!deq_batch}: values land bare in the caller's
+      buffer (compacted to the front, remainder filled with
+      [default]), returning how many were written.  Same probing
+      discipline as {!deq_batch} and same [default] contract as
+      {!dequeue_or}.  With the shards' own [deq_batch_into] the whole
+      router round trip allocates nothing. *)
 
   (** {1 Introspection} *)
 
@@ -216,3 +237,17 @@ module Storm : module type of Router (Primitives.Atomic_prims.Real) (Wfq.Wfqueue
 (** Fault-injection router for the storm driver: probes and injection
     points compiled in (transparent until a controller is
     installed). *)
+
+module Adaptive : module type of Router (Primitives.Atomic_prims.Real) (Topology.Adaptive)
+(** Topology-adaptive shards: each shard starts on the specialized
+    SPSC variant and degrades (SPSC -> MPSC/SPMC -> general) as the
+    router's traffic reveals producer/consumer roles on it.  The
+    Router text is reused verbatim — [Topology.Adaptive] satisfies
+    {!QUEUE} — so single-threaded deployments pay the cheap variant
+    and multi-threaded ones converge to the general queue per shard. *)
+
+module Adaptive_storm :
+    module type of Router (Primitives.Atomic_prims.Real) (Topology.Adaptive_inject)
+(** Fault-injection build of {!Adaptive}: kills and parks land in the
+    specialized variants' windows, in the adaptive switch window
+    ([Topo_switch_draining]) and in the general backend's windows. *)

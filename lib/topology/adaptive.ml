@@ -1,0 +1,8 @@
+(* Production adaptive build: specialized variants and the general
+   [Wfq.Wfqueue] as the degrade target, all with probe and injector
+   compiled out.  Satisfies [Shard.QUEUE], so the Router shards over
+   it unchanged ([Shard.Adaptive]). *)
+
+include
+  Adaptive_algo.Make (Primitives.Atomic_prims.Real) (Obs.Probe.Disabled) (Inject.Disabled)
+    (Wfq.Wfqueue)

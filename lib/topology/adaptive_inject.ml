@@ -1,0 +1,8 @@
+(* Storm adaptive build: probe and injector compiled in, degrading to
+   the storm build of the general queue so kills land in the backend
+   windows too ([Topo_switch_draining] plus everything the general
+   queue arms). *)
+
+include
+  Adaptive_algo.Make (Primitives.Atomic_prims.Real) (Obs.Probe.Enabled) (Inject.Enabled)
+    (Wfq.Wfqueue_inject)

@@ -1,0 +1,16 @@
+(* The cell-state plane of the specialized variants, PR-6 style: a
+   cell is a bare [Obj.t] word, and the two protocol states that are
+   not "holds a value" are private one-field blocks compared with
+   physical equality.  No [option] per cell, no per-value box — an
+   immediate payload (ints, constant constructors) costs zero words on
+   the enqueue/dequeue path, which is what the allocation gate pins.
+
+   [bottom_w] — the cell has never held a value (or was re-bottomed at
+   segment recycle).  [top_w] — the value was consumed.  User values
+   can never alias either: both are fresh mutable blocks whose only
+   reference lives here, and [==] on them is exact.  The [ref] payload
+   is arbitrary; distinct allocation identity is the whole point. *)
+
+let bottom_w : Obj.t = Obj.repr (ref "topology-bottom")
+let top_w : Obj.t = Obj.repr (ref "topology-top")
+let is_value (w : Obj.t) = w != bottom_w && w != top_w

@@ -1,0 +1,4 @@
+(* Production MPSC build: hardware atomics, probe and injector
+   compiled out. *)
+
+include Mpsc_algo.Make (Primitives.Atomic_prims.Real) (Obs.Probe.Disabled) (Inject.Disabled)

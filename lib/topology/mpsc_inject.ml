@@ -1,0 +1,3 @@
+(* Storm MPSC build: probe and injector compiled in. *)
+
+include Mpsc_algo.Make (Primitives.Atomic_prims.Real) (Obs.Probe.Enabled) (Inject.Enabled)

@@ -1,0 +1,53 @@
+(* Queue-body plumbing shared by the specialized variants: exclusive
+   role claims (the thing that makes "single producer" a checked
+   contract instead of a comment) and the live-handle registry that
+   snapshot aggregation and the adaptive grace period walk.
+
+   Functorized over the atomic primitives like the algorithms
+   themselves, so the exact shipped text runs under the simsched
+   shim. *)
+
+module Make (A : Primitives.Atomic_prims.S) = struct
+  module Role = struct
+    type t = int A.t
+    (* hid of the owning handle, or -1 when unclaimed. *)
+
+    let make () = A.make_contended (-1)
+
+    (* First use claims; a second claimant is a topology violation and
+       raises rather than corrupting single-writer state.  Release on
+       retire re-opens the seat, so sequential handoff (register, use,
+       retire, register) is legal — what the bench harness does across
+       allocate/free cycles. *)
+    let claim (r : t) ~hid ~queue ~role =
+      if not (A.compare_and_set r (-1) hid) then
+        invalid_arg
+          (Printf.sprintf
+             "%s: handle %d cannot become the %s: the queue already has one (handle %d). This \
+              topology admits a single %s; retire it first, or use a wider variant."
+             queue hid role (A.get r) role)
+
+    let release (r : t) ~hid = ignore (A.compare_and_set r hid (-1))
+  end
+
+  module Registry = struct
+    type 'h t = { live : 'h list A.t; next_hid : int A.t }
+
+    let make () = { live = A.make []; next_hid = A.make 0 }
+    let fresh_hid t = A.fetch_and_add t.next_hid 1
+
+    (* Lock-free CAS push/filter: a retry implies another registration
+       made progress, so these loops are not blocking (no holder to
+       wait out) — explorable under the simsched DFS. *)
+    let rec add t h =
+      let old = A.get t.live in
+      if not (A.compare_and_set t.live old (h :: old)) then add t h
+
+    let rec remove t h =
+      let old = A.get t.live in
+      if not (A.compare_and_set t.live old (List.filter (fun x -> x != h) old)) then remove t h
+
+    let live_list t = A.get t.live
+    let live_count t = List.length (A.get t.live)
+  end
+end

@@ -1,0 +1,234 @@
+(* Linked fixed-size segments with in-place recycling — the "infinite
+   array" of the paper (§2) rebuilt for the specialized variants,
+   where the full hazard-pointer machinery of [Wfqueue_algo] would be
+   overkill.  The variants' topology constraints give a cheaper safety
+   argument (the pinning rule, below), so reclamation here is a
+   bounded free pool plus cell re-bottoming, with no protect/validate
+   handshake on the hot path.
+
+   Per-cell [Obj.t A.t] boxes make a fresh segment cost a few words
+   per covered operation, so recycling is not an optimization — it is
+   what makes the variants meet the repo's allocation gate.  At steady
+   state a segment crossing costs one [Link] block, one fresh [End]
+   stamp and one pool cons per [size] operations: ~0.01 words/op at
+   the default size.
+
+   Pinning rule (why walkers need no hazard pointers): a walker enters
+   [find] holding a ticket [i] that is not yet resolved.  Every
+   variant recycles a segment only after all indices it covers are
+   resolved (SPSC: the consumer passed them; MPSC: the consumer prefix
+   passed them; SPMC: the resolved count hit [size] and the producer
+   frontier passed the end).  So the segment that covers an unresolved
+   [i] *in the chain* cannot be recycled out from under its walker.
+
+   A covering base alone does NOT identify that segment.  A recycled
+   segment can be popped from the pool and re-based — including by the
+   walker's own [acquire] — to a range that covers [i] while it sits
+   in another thread's private acquire→link window or back in the
+   pool, re-bottomed.  Trusting a bare cached reference whose base
+   happens to cover [i] hands the walker a segment that is not in the
+   chain at all.  [find] therefore only trusts:
+
+   - the anchor: [f = first] with [first == f] re-checked *after*
+     reading [f]'s base.  Recycling advances [first] before the
+     segment can reach the pool, so an unchanged [first] proves the
+     base read saw an in-chain segment.  (The ABA where [f] is later
+     re-linked and re-installed as first is benign: the base read then
+     is its new, genuine in-chain base.)
+
+   - successors: following [Link n] from a segment trusted at base
+     [b] requires [n]'s base to equal [b + size].  Bases strictly
+     advance across re-acquisitions, so a segment unlinked from a
+     position can never carry that position's base again — a matching
+     base proves [n] still holds its chain slot.
+
+   - hints: callers cache the segment of their last operation together
+     with the base at which it was then trusted.  The hint is believed
+     only if that base arithmetically covers the new [i] *and* the
+     segment's current base still equals it: unchanged means either
+     never recycled since (still in chain), or recycled — which the
+     pinning rule excludes while [i] in that range is unresolved.
+
+   Any mismatch restarts from [first]; every restart is caused by
+   another thread's completed append or recycle, so the walk is
+   bounded by opponents' progress.
+
+   The [End of int] link stamp closes the append race the same way:
+   "last segment" is not a bare [Null] but a freshly allocated block
+   naming the base it was installed for.  An appender CASes the exact
+   [End] block it read — and only when the stamp equals the base it
+   trusts — so a stale append onto a recycled-and-restamped tail fails
+   instead of splicing a dead segment into the new chain. *)
+
+module Make (A : Primitives.Atomic_prims.S) = struct
+  type seg = {
+    base : int A.t;  (* global index of cells.(0); reassigned on reuse *)
+    cells : Obj.t A.t array;
+    next : link A.t;
+    resolved : int A.t;  (* SPMC: count of terminally handled cells *)
+  }
+
+  and link =
+    | End of int  (* no successor; stamp = base this End was installed for *)
+    | Link of seg
+    | Recycled  (* detached; walkers restart from [first] *)
+
+  type t = {
+    size : int;
+    mask : int;  (* size - 1; size is a power of two *)
+    pool_enabled : bool;
+    pool_limit : int;
+    first : seg A.t;  (* oldest live segment; each variant's sole advancer differs *)
+    pool : seg list A.t;
+    pooled : int A.t;
+    allocated : int A.t;  (* fresh segment allocations *)
+    recycled : int A.t;  (* pool hits *)
+    reclaimed : int A.t;  (* segments unlinked (recycle events) *)
+    wasted : int A.t;  (* segments acquired but beaten to the append *)
+    live : int A.t;  (* segments currently in the chain *)
+  }
+
+  let alloc_seg ~size ~base =
+    {
+      base = A.make base;
+      cells = Array.init size (fun _ -> A.make Cellword.bottom_w);
+      next = A.make (End base);
+      resolved = A.make 0;
+    }
+
+  let make ~size ~pool_limit ~pool_enabled =
+    let s0 = alloc_seg ~size ~base:0 in
+    {
+      size;
+      mask = size - 1;
+      pool_enabled;
+      pool_limit;
+      first = A.make s0;
+      pool = A.make [];
+      pooled = A.make 0;
+      allocated = A.make 1;
+      recycled = A.make 0;
+      reclaimed = A.make 0;
+      wasted = A.make 0;
+      live = A.make 1;
+    }
+
+  let rec pool_pop t =
+    match A.get t.pool with
+    | [] -> None
+    | s :: rest as old ->
+        if A.compare_and_set t.pool old rest then begin
+          ignore (A.fetch_and_add t.pooled (-1));
+          Some s
+        end
+        else pool_pop t
+
+  (* The segment must already be detached ([next] is set to [Recycled]
+     here, before the push, so a stale walker can never follow a
+     pooled segment's old link) and its cells all-bottom.  [pooled]
+     can transiently overshoot [pool_limit] by the number of
+     concurrent pushers; the bound is advisory. *)
+  let pool_push t s =
+    A.set s.next Recycled;
+    if t.pool_enabled && A.get t.pooled < t.pool_limit then begin
+      ignore (A.fetch_and_add t.pooled 1);
+      let rec push () =
+        let old = A.get t.pool in
+        if not (A.compare_and_set t.pool old (s :: old)) then push ()
+      in
+      push ()
+    end
+
+  (* A segment set up for linking at [base], owned exclusively by the
+     caller until its link CAS.  The fresh [End base] block is what
+     defeats stale appends (see the header). *)
+  let acquire t ~base =
+    match pool_pop t with
+    | Some s ->
+        ignore (A.fetch_and_add t.recycled 1);
+        A.set s.base base;
+        A.set s.resolved 0;
+        A.set s.next (End base);
+        s
+    | None ->
+        ignore (A.fetch_and_add t.allocated 1);
+        alloc_seg ~size:t.size ~base
+
+  (* Unlink-and-reset.  Caller guarantees the pinning rule: no index
+     this segment covers can be walked again.  Cells are re-bottomed
+     so recycled segments arrive virgin and stale value references do
+     not outlive the segment's FIFO window. *)
+  let recycle t s =
+    ignore (A.fetch_and_add t.live (-1));
+    ignore (A.fetch_and_add t.reclaimed 1);
+    if t.pool_enabled then begin
+      for i = 0 to t.size - 1 do
+        A.set s.cells.(i) Cellword.bottom_w
+      done;
+      pool_push t s
+    end
+    else A.set s.next Recycled
+
+  (* The base of the segment covering [i]: bases are size-aligned. *)
+  let cover t i = i land lnot t.mask
+
+  (* Locate (materializing as needed) the segment covering index [i],
+     under the trust discipline of the header: anchor at [first] with
+     a double read, hand trust down Links by base equality, append
+     only when the [End] stamp matches the trusted base.  [walk]
+     carries [b], the base its [s] was trusted at — it never re-reads
+     a base it already trusts. *)
+  let rec anchor t i =
+    let f = A.get t.first in
+    let b = A.get f.base in
+    if A.get t.first != f then anchor t i else walk t f b i
+
+  and walk t s b i =
+    if b <= i && i < b + t.size then s
+    else if b > i then
+      (* overshot: [i] was resolved and its segment recycled before we
+         anchored; the caller's ticket logic owns that case — but an
+         in-[find] walker with unresolved [i] never sees it *)
+      anchor t i
+    else
+      match A.get s.next with
+      | Link n -> if A.get n.base = b + t.size then walk t n (b + t.size) i else anchor t i
+      | Recycled -> anchor t i
+      | End b_end as e ->
+          if b_end <> b then anchor t i
+          else begin
+            let s' = acquire t ~base:(b + t.size) in
+            if A.compare_and_set s.next e (Link s') then begin
+              ignore (A.fetch_and_add t.live 1);
+              walk t s' (b + t.size) i
+            end
+            else begin
+              (* beaten to the append: someone linked the successor;
+                 re-examine [s]'s link (still trusted at [b]) *)
+              ignore (A.fetch_and_add t.wasted 1);
+              pool_push t s';
+              walk t s b i
+            end
+          end
+
+  (* [hint] is the caller's cached segment, [hint_base] the base it
+     was trusted at when cached (see the header's hint rule).  Callers
+     refresh the cache with the returned segment and [cover t i]. *)
+  let find t hint ~hint_base i =
+    if hint_base = cover t i && A.get hint.base = hint_base then hint else anchor t i
+
+  let cell s t i = s.cells.(i land t.mask)
+  (* NOTE: valid only when [s] covers [i]; bases are size-aligned so
+     [i land mask] is [i - base]. *)
+
+  let gauges t : Obs.Snapshot.segments =
+    {
+      Obs.Snapshot.allocated = A.get t.allocated;
+      reclaimed = A.get t.reclaimed;
+      recycled = A.get t.recycled;
+      wasted = A.get t.wasted;
+      pooled = max 0 (A.get t.pooled);
+      live = A.get t.live;
+      cleanups = 0;
+    }
+end

@@ -1,0 +1,4 @@
+(* Production SPMC build: hardware atomics, probe and injector
+   compiled out. *)
+
+include Spmc_algo.Make (Primitives.Atomic_prims.Real) (Obs.Probe.Disabled) (Inject.Disabled)

@@ -1,0 +1,3 @@
+(* Storm SPMC build: probe and injector compiled in. *)
+
+include Spmc_algo.Make (Primitives.Atomic_prims.Real) (Obs.Probe.Enabled) (Inject.Enabled)

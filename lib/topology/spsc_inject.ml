@@ -1,0 +1,5 @@
+(* Storm SPSC build: same algorithm text with the probe and the fault
+   injector compiled in — the adversarial-schedule suites park/kill
+   inside the [Topo_enq_pending] hole window. *)
+
+include Spsc_algo.Make (Primitives.Atomic_prims.Real) (Obs.Probe.Enabled) (Inject.Enabled)

@@ -1,0 +1,28 @@
+(* The interface every specialized variant exports: the [Shard.QUEUE]
+   shape (so a variant — or the adaptive wrapper — can sit behind the
+   Router unchanged), plus the allocation-free dequeue entry points
+   and the build flags.  [Wfq.Wfqueue] satisfies [S] too, which is how
+   the adaptive queue takes "the general queue to degrade to" as a
+   functor argument. *)
+
+module type S = sig
+  type 'a t
+  type 'a handle
+
+  val create :
+    ?patience:int -> ?segment_shift:int -> ?max_garbage:int -> ?reclamation:bool -> unit -> 'a t
+
+  val register : 'a t -> 'a handle
+  val retire : 'a t -> 'a handle -> unit
+  val enqueue : 'a t -> 'a handle -> 'a -> unit
+  val dequeue : 'a t -> 'a handle -> 'a option
+  val dequeue_or : 'a t -> 'a handle -> 'a -> 'a
+  val enq_batch : 'a t -> 'a handle -> 'a array -> unit
+  val deq_batch : 'a t -> 'a handle -> int -> 'a option array
+  val deq_batch_into : 'a t -> 'a handle -> 'a array -> default:'a -> int
+  val approx_length : 'a t -> int
+  val snapshot : 'a t -> Obs.Snapshot.t
+  val reset_stats : 'a t -> unit
+  val probe_enabled : bool
+  val injector_enabled : bool
+end

@@ -106,6 +106,18 @@ val deq_batch : 'a t -> 'a handle -> int -> 'a option array
     tickets).  Not atomic, same contract as {!enq_batch}.  [k <= 0]
     returns [[||]] without consuming tickets. *)
 
+val deq_batch_into : 'a t -> 'a handle -> 'a array -> default:'a -> int
+(** Allocation-free {!deq_batch}: reserves [Array.length out]
+    consecutive cells with one FAA and writes the dequeued values bare
+    into [out.(0) .. out.(n-1)] in cell order (compacted — EMPTY
+    observations are skipped, not represented), fills [out.(n) ..] with
+    [default], and returns [n].  No [Some] box per cell and no result
+    array: zero minor words per call in the production build
+    (Alloc_bench row "wf-10-deq-batch-into").  Same non-atomicity and
+    ticket-burning contract as {!deq_batch}; [default] needs no
+    distinguishability property because the count [n] is the
+    authority.  A zero-length [out] is a no-op returning [0]. *)
+
 val push : 'a t -> 'a -> unit
 (** {!enqueue} with a per-domain handle managed internally.  The hot
     path is lock-free: a domain-local cache lookup plus one atomic

@@ -1217,6 +1217,72 @@ let deq_batch (q : 'a t) (h : 'a handle) k : 'a option array =
     out
   end
 
+(* Cell loop of [deq_batch_into]: a top-level recursion (a local
+   [let rec] would box a closure per call, against the PR 6 zero-
+   allocation discipline).  Values are compacted to the front of
+   [out]; returns how many were written. *)
+let rec deq_batch_into_loop q h (out : 'a array) k first j n =
+  if j = k then n
+  else begin
+    let i = first + j in
+    let s = find_cell ~who:"deq_batch_into" q (A.get h.head) i in
+    A.set h.head s;
+    let w = help_enq q h s i in
+    if w == empty_w then begin
+      h.stats.fast_dequeues <- h.stats.fast_dequeues + 1;
+      h.stats.empty_dequeues <- h.stats.empty_dequeues + 1;
+      deq_batch_into_loop q h out k first (j + 1) n
+    end
+    else if w != top_w && A.compare_and_set s.deqs.(i land q.seg_mask) Deq_bottom Deq_top
+    then begin
+      h.stats.fast_dequeues <- h.stats.fast_dequeues + 1;
+      out.(n) <- Obj.obj w;
+      deq_batch_into_loop q h out k first (j + 1) (n + 1)
+    end
+    else begin
+      if P.enabled then begin
+        h.stats.deq_cas_failures <- h.stats.deq_cas_failures + 1;
+        h.stats.deq_batch_fallbacks <- h.stats.deq_batch_fallbacks + 1
+      end;
+      let w = deq_slow q h i in
+      h.stats.slow_dequeues <- h.stats.slow_dequeues + 1;
+      if w == empty_w then begin
+        h.stats.empty_dequeues <- h.stats.empty_dequeues + 1;
+        deq_batch_into_loop q h out k first (j + 1) n
+      end
+      else begin
+        out.(n) <- Obj.obj w;
+        deq_batch_into_loop q h out k first (j + 1) (n + 1)
+      end
+    end
+  end
+
+(* The allocation-free batch dequeue: same reservation protocol as
+   [deq_batch], but values land bare in the caller's array (no [Some]
+   per cell, no result-array allocation) with the remainder filled
+   with [default].  [Array.length out] is the ticket batch size. *)
+let deq_batch_into (q : 'a t) (h : 'a handle) (out : 'a array) ~(default : 'a) : int =
+  let k = Array.length out in
+  if k = 0 then 0
+  else begin
+    ignore (protect_pointer h h.head);
+    let first = A.fetch_and_add q.head_index k in
+    if I.enabled then I.hit Inject.Deq_batch_after_faa;
+    if P.enabled then begin
+      h.stats.deq_batches <- h.stats.deq_batches + 1;
+      h.stats.deq_batch_cells <- h.stats.deq_batch_cells + k
+    end;
+    let n = deq_batch_into_loop q h out k first 0 0 in
+    if n > 0 then begin
+      help_deq q h h.deq_peer;
+      h.deq_peer <- next_live_handle h.deq_peer
+    end;
+    Array.fill out n (k - n) default;
+    A.set h.hzdp q.null_segment;
+    if q.reclamation then cleanup q h;
+    n
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Implicit per-domain handles                                        *)
 

@@ -16,6 +16,7 @@ let dequeue_or = Wfqueue.dequeue_or
 let dequeue = Wfqueue.dequeue
 let enq_batch = Wfqueue.enq_batch
 let deq_batch = Wfqueue.deq_batch
+let deq_batch_into = Wfqueue.deq_batch_into
 let push = Wfqueue.push
 let pop = Wfqueue.pop
 let pop_or q default = dequeue_or q (domain_handle q) default

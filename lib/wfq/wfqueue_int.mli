@@ -40,6 +40,12 @@ val dequeue : t -> handle -> int option
 
 val enq_batch : t -> handle -> int array -> unit
 val deq_batch : t -> handle -> int -> int option array
+
+val deq_batch_into : t -> handle -> int array -> default:int -> int
+(** Allocation-free batch dequeue into a caller buffer (see
+    {!Wfqueue.deq_batch_into}); with an [int array] the whole batch
+    round trip allocates nothing. *)
+
 val push : t -> int -> unit
 val pop : t -> int option
 

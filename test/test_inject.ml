@@ -492,6 +492,403 @@ let test_cleanup_token_death_recovers () =
   if !exercised = 0 then Alcotest.fail "no cleanup-token death was ever injected"
 
 (* ------------------------------------------------------------------ *)
+(* Topology storms: the specialized variant family under faults.  The
+   variants have no helping — their fault story is structural (holes
+   skipped, tickets poisoned, switches drained), so the claims are
+   the same currency as above: parks stall nobody, each kill strands
+   at most one value, nothing duplicates, survivors complete.        *)
+
+(* Park storm at the [Topology] points, one sweep per variant under
+   its legal topology.  A producer parked in the hole window or a
+   consumer parked on a held ticket delays nobody; values are
+   conserved exactly. *)
+let test_topology_park_storm () =
+  sim_park ();
+  Inject.reset_stats ();
+  let points = Inject.points_of_class Inject.Topology in
+  let plan seed = Inject.Plan.make ~park:6 ~arm_window:1 ~points ~seed:(Int64.of_int seed) () in
+  for seed = 1 to 100 do
+    (* SPSC: producer fiber 0 (victim), consumer fiber 1 *)
+    (let module Q = Simsched.Sim.Spsc in
+     let q = Q.create ~segment_shift:1 ~max_garbage:2 () in
+     let hp = Q.register q and hc = Q.register q in
+     let got = ref [] in
+     Inject.with_controller
+       (fun p ->
+         if Sim.current_fiber () = 0 then Inject.Plan.decide (plan (seed * 7919)) p
+         else Inject.Continue)
+       (fun () ->
+         ignore
+           (run_ok ~seed
+              [|
+                (fun () ->
+                  for i = 1 to 8 do
+                    Q.enqueue q hp i
+                  done);
+                (fun () ->
+                  for _ = 1 to 8 do
+                    match Q.dequeue q hc with Some v -> got := v :: !got | None -> ()
+                  done);
+              |]));
+     let rec drain acc = match Q.dequeue q hc with Some v -> drain (v :: acc) | None -> acc in
+     check
+       Alcotest.(list int)
+       (Printf.sprintf "spsc seed %d: parked storm conserves values" seed)
+       (List.init 8 (fun i -> i + 1))
+       (List.sort compare (!got @ drain [])));
+    (* MPSC: producers 0 (victim) and 1, consumer 2 *)
+    (let module Q = Simsched.Sim.Mpsc in
+     let q = Q.create ~segment_shift:1 ~max_garbage:2 () in
+     let h = Array.init 3 (fun _ -> Q.register q) in
+     let got = ref [] in
+     Inject.with_controller
+       (fun p ->
+         if Sim.current_fiber () = 0 then Inject.Plan.decide (plan (seed * 31)) p
+         else Inject.Continue)
+       (fun () ->
+         let producer t () =
+           for i = 1 to 4 do
+             Q.enqueue q h.(t) ((t * 100) + i)
+           done
+         in
+         let consumer () =
+           for _ = 1 to 8 do
+             match Q.dequeue q h.(2) with Some v -> got := v :: !got | None -> ()
+           done
+         in
+         ignore (run_ok ~seed [| producer 0; producer 1; consumer |]));
+     let rec drain acc =
+       match Q.dequeue q h.(2) with Some v -> drain (v :: acc) | None -> acc
+     in
+     check
+       Alcotest.(list int)
+       (Printf.sprintf "mpsc seed %d: parked storm conserves values" seed)
+       (List.sort compare (List.init 4 (fun i -> i + 1) @ List.init 4 (fun i -> 100 + i + 1)))
+       (List.sort compare (!got @ drain [])));
+    (* SPMC: producer 0, consumers 1 (victim) and 2 *)
+    (let module Q = Simsched.Sim.Spmc in
+     let q = Q.create ~segment_shift:1 ~max_garbage:2 () in
+     let h = Array.init 3 (fun _ -> Q.register q) in
+     let got = ref [] in
+     Inject.with_controller
+       (fun p ->
+         if Sim.current_fiber () = 1 then Inject.Plan.decide (plan (seed * 17)) p
+         else Inject.Continue)
+       (fun () ->
+         let consumer t () =
+           for _ = 1 to 4 do
+             match Q.dequeue q h.(t) with Some v -> got := v :: !got | None -> ()
+           done
+         in
+         ignore
+           (run_ok ~seed
+              [|
+                (fun () ->
+                  for i = 1 to 8 do
+                    Q.enqueue q h.(0) i
+                  done);
+                consumer 1;
+                consumer 2;
+              |]));
+     let rec drain acc =
+       match Q.dequeue q h.(1) with Some v -> drain (v :: acc) | None -> acc
+     in
+     check
+       Alcotest.(list int)
+       (Printf.sprintf "spmc seed %d: parked storm conserves values" seed)
+       (List.init 8 (fun i -> i + 1))
+       (List.sort compare (!got @ drain [])));
+    (* Adaptive: two producers force a switch mid-stream; a park in
+       the drain window must not wedge the commit *)
+    (let module Q = Simsched.Sim.Adaptive_queue in
+     let q = Q.create ~patience:2 ~segment_shift:1 ~max_garbage:2 () in
+     let h = Array.init 3 (fun _ -> Q.register q) in
+     let got = ref [] in
+     Inject.with_controller
+       (fun p ->
+         if Sim.current_fiber () <= 1 then Inject.Plan.decide (plan (seed * 13)) p
+         else Inject.Continue)
+       (fun () ->
+         let producer t () =
+           for i = 1 to 4 do
+             Q.enqueue q h.(t) ((t * 100) + i)
+           done
+         in
+         let consumer () =
+           for _ = 1 to 8 do
+             match Q.dequeue q h.(2) with Some v -> got := v :: !got | None -> ()
+           done
+         in
+         ignore (run_ok ~seed [| producer 0; producer 1; consumer |]));
+     let rec drain acc =
+       match Q.dequeue q h.(2) with Some v -> drain (v :: acc) | None -> acc
+     in
+     check
+       Alcotest.(list int)
+       (Printf.sprintf "adaptive seed %d: parked storm conserves values" seed)
+       (List.sort compare (List.init 4 (fun i -> i + 1) @ List.init 4 (fun i -> 100 + i + 1)))
+       (List.sort compare (!got @ drain [])))
+  done;
+  let fired =
+    List.fold_left (fun acc p -> acc + (Inject.stats p).Inject.parks) 0 points
+  in
+  if fired = 0 then
+    Alcotest.fail "no topology park ever fired across the sweep: dead injection points?"
+
+(* A producer killed in the MPSC hole window (ticket FAA'd, cell
+   never written) leaves a PERMANENT hole.  The consumer must skip it
+   forever without stalling: every other value still flows, nothing
+   duplicates, and at most the one in-flight value per kill is lost. *)
+let test_topo_dead_producer_leaves_hole () =
+  sim_park ();
+  let total_kills = ref 0 in
+  for seed = 1 to 300 do
+    Inject.reset_stats ();
+    let plan =
+      Inject.Plan.make ~lethal:true ~arm_window:1 ~points:[ Inject.Topo_enq_pending ]
+        ~seed:(Int64.of_int (seed * 23)) ()
+    in
+    let module Q = Simsched.Sim.Mpsc in
+    let q = Q.create ~segment_shift:1 ~max_garbage:2 () in
+    let h = Array.init 3 (fun _ -> Q.register q) in
+    let got = ref [] in
+    let venq = ref 0 in
+    Inject.with_controller
+      (fun p -> if Sim.current_fiber () = 0 then Inject.Plan.decide plan p else Inject.Continue)
+      (fun () ->
+        let victim () =
+          try
+            for k = 1 to 4 do
+              Q.enqueue q h.(0) (100 + k);
+              venq := k
+            done
+          with Inject.Killed _ -> Q.retire q h.(0)
+        in
+        let producer () =
+          for k = 1 to 4 do
+            Q.enqueue q h.(1) (10 + k)
+          done
+        in
+        let consumer () =
+          for _ = 1 to 8 do
+            match Q.dequeue q h.(2) with Some v -> got := v :: !got | None -> ()
+          done
+        in
+        ignore (run_ok ~seed [| victim; producer; consumer |]));
+    let rec drain acc = match Q.dequeue q h.(2) with Some v -> drain (v :: acc) | None -> acc in
+    let all = List.sort compare (!got @ drain []) in
+    let kills = (Inject.total_stats ()).Inject.kills in
+    total_kills := !total_kills + kills;
+    let rec no_dup = function
+      | a :: (b :: _ as tl) ->
+        if a = b then Alcotest.failf "seed %d: value %d dequeued twice" seed a;
+        no_dup tl
+      | _ -> ()
+    in
+    no_dup all;
+    let definite = List.init !venq (fun k -> 100 + k + 1) @ List.init 4 (fun k -> 10 + k + 1) in
+    let optional = if !venq < 4 then [ 100 + !venq + 1 ] else [] in
+    List.iter
+      (fun v ->
+        if not (List.mem v definite || List.mem v optional) then
+          Alcotest.failf "seed %d: alien value %d" seed v)
+      all;
+    let missing = List.length (List.filter (fun v -> not (List.mem v all)) definite) in
+    if missing > kills then
+      Alcotest.failf "seed %d: %d values missing but only %d kills" seed missing kills;
+    (* the permanent hole must not wedge later traffic *)
+    Q.enqueue q h.(1) 999;
+    (match Q.dequeue q h.(2) with
+    | Some 999 -> ()
+    | _ -> Alcotest.failf "seed %d: queue wedged behind a dead producer's hole" seed)
+  done;
+  if !total_kills = 0 then
+    Alcotest.fail "no hole-window kill ever fired: lethal topology plans are dead code?"
+
+(* A consumer killed holding an SPMC head ticket never resolves its
+   cell: the value the producer deposits there is stranded — but at
+   most that one, and the ticket's segment pin only costs memory,
+   never progress. *)
+let test_topo_dead_ticket_strands_at_most_one () =
+  sim_park ();
+  let total_kills = ref 0 in
+  for seed = 1 to 300 do
+    Inject.reset_stats ();
+    let plan =
+      Inject.Plan.make ~lethal:true ~arm_window:1 ~points:[ Inject.Topo_deq_pending ]
+        ~seed:(Int64.of_int (seed * 29)) ()
+    in
+    let module Q = Simsched.Sim.Spmc in
+    let q = Q.create ~segment_shift:1 ~max_garbage:2 () in
+    let h = Array.init 3 (fun _ -> Q.register q) in
+    let got = ref [] in
+    Inject.with_controller
+      (fun p -> if Sim.current_fiber () = 0 then Inject.Plan.decide plan p else Inject.Continue)
+      (fun () ->
+        let victim () =
+          try
+            for _ = 1 to 4 do
+              match Q.dequeue q h.(0) with Some v -> got := v :: !got | None -> ()
+            done
+          with Inject.Killed _ -> Q.retire q h.(0)
+        in
+        let producer () =
+          for k = 1 to 8 do
+            Q.enqueue q h.(1) k
+          done
+        in
+        let consumer () =
+          for _ = 1 to 4 do
+            match Q.dequeue q h.(2) with Some v -> got := v :: !got | None -> ()
+          done
+        in
+        ignore (run_ok ~seed [| victim; producer; consumer |]));
+    let rec drain acc = match Q.dequeue q h.(2) with Some v -> drain (v :: acc) | None -> acc in
+    let all = List.sort compare (!got @ drain []) in
+    let kills = (Inject.total_stats ()).Inject.kills in
+    total_kills := !total_kills + kills;
+    let rec no_dup = function
+      | a :: (b :: _ as tl) ->
+        if a = b then Alcotest.failf "seed %d: value %d dequeued twice" seed a;
+        no_dup tl
+      | _ -> ()
+    in
+    no_dup all;
+    let missing = 8 - List.length all in
+    if missing > kills then
+      Alcotest.failf "seed %d: %d values missing but only %d kills (each strands <= 1)" seed
+        missing kills
+  done;
+  if !total_kills = 0 then
+    Alcotest.fail "no ticket-window kill ever fired: lethal topology plans are dead code?"
+
+(* Death in the adaptive switch drain: the kill is absorbed until the
+   switch commits ("die late"), so a crashed switcher can never leave
+   the queue wedged mid-mode.  Survivors finish, conservation holds
+   up to one in-flight value per kill, and the queue stays fully
+   operational on the new backend. *)
+let test_topo_switch_death_recovers () =
+  sim_park ();
+  let total_kills = ref 0 in
+  for seed = 1 to 300 do
+    Inject.reset_stats ();
+    let plan =
+      Inject.Plan.make ~lethal:true ~arm_window:1 ~points:[ Inject.Topo_switch_draining ]
+        ~seed:(Int64.of_int (seed * 37)) ()
+    in
+    let module Q = Simsched.Sim.Adaptive_queue in
+    let q = Q.create ~patience:2 ~segment_shift:1 ~max_garbage:2 () in
+    let h = Array.init 3 (fun _ -> Q.register q) in
+    let got = ref [] in
+    let venq = [| 0; 0 |] in
+    Inject.with_controller
+      (fun p ->
+        if Sim.current_fiber () <= 1 then Inject.Plan.decide plan p else Inject.Continue)
+      (fun () ->
+        (* both producers are victims: whichever one performs the
+           spsc->mpsc switch can die in the drain window *)
+        let producer t () =
+          try
+            for i = 1 to 4 do
+              Q.enqueue q h.(t) ((t * 100) + i);
+              venq.(t) <- i
+            done
+          with Inject.Killed _ -> Q.retire q h.(t)
+        in
+        let consumer () =
+          for _ = 1 to 8 do
+            match Q.dequeue q h.(2) with Some v -> got := v :: !got | None -> ()
+          done
+        in
+        ignore (run_ok ~seed [| producer 0; producer 1; consumer |]));
+    let rec drain acc = match Q.dequeue q h.(2) with Some v -> drain (v :: acc) | None -> acc in
+    let all = List.sort compare (!got @ drain []) in
+    let kills = (Inject.total_stats ()).Inject.kills in
+    total_kills := !total_kills + kills;
+    let rec no_dup = function
+      | a :: (b :: _ as tl) ->
+        if a = b then Alcotest.failf "seed %d: value %d dequeued twice" seed a;
+        no_dup tl
+      | _ -> ()
+    in
+    no_dup all;
+    (* completed enqueues are definite; the in-flight value of a kill
+       in the drain window is "die late": absorbed until the switch
+       commits, so the enqueue itself lands and the value may appear
+       once even though the producer never saw it succeed *)
+    let definite =
+      List.init venq.(0) (fun i -> i + 1) @ List.init venq.(1) (fun i -> 100 + i + 1)
+    in
+    let optional =
+      (if venq.(0) < 4 then [ venq.(0) + 1 ] else [])
+      @ if venq.(1) < 4 then [ 100 + venq.(1) + 1 ] else []
+    in
+    List.iter
+      (fun v ->
+        if not (List.mem v definite || List.mem v optional) then
+          Alcotest.failf "seed %d: alien value %d" seed v)
+      all;
+    let missing = List.length (List.filter (fun v -> not (List.mem v all)) definite) in
+    if missing > kills then
+      Alcotest.failf "seed %d: %d completed values missing but only %d kills" seed missing kills;
+    (* the switch committed (or was never needed): the queue works *)
+    Q.enqueue q h.(2) 999;
+    (match Q.dequeue q h.(2) with
+    | Some 999 -> ()
+    | _ -> Alcotest.failf "seed %d: queue wedged after switch-window death" seed)
+  done;
+  if !total_kills = 0 then
+    Alcotest.fail "no switch-drain kill ever fired: lethal topology plans are dead code?"
+
+(* The storm build of the adaptive family on real domains: hardware
+   scheduling instead of the sim, park and kill plans armed. *)
+let test_topo_real_storm_smoke () =
+  let module W = Topology.Adaptive_inject in
+  let run_storm ~lethal ~seed =
+    Inject.reset_stats ();
+    Inject.set_park (fun n -> Unix.sleepf (float_of_int n *. 1e-7));
+    let plan =
+      Inject.Plan.make ~park:50 ~lethal
+        ~points:(Inject.points_of_class Inject.Topology)
+        ~seed ()
+    in
+    let is_victim = Domain.DLS.new_key (fun () -> false) in
+    let q = W.create ~segment_shift:2 ~max_garbage:2 () in
+    let ops = 2_000 in
+    let completed = Array.make 4 false in
+    Inject.with_controller
+      (fun p -> if Domain.DLS.get is_victim then Inject.Plan.decide plan p else Inject.Continue)
+      (fun () ->
+        let worker d () =
+          if d < 2 then Domain.DLS.set is_victim true;
+          let h = W.register q in
+          Fun.protect ~finally:(fun () -> W.retire q h) @@ fun () ->
+          try
+            for i = 1 to ops do
+              W.enqueue q h ((d * ops) + i);
+              ignore (W.dequeue q h)
+            done;
+            completed.(d) <- true
+          with Inject.Killed _ -> ()
+        in
+        let ds = List.init 4 (fun d -> Domain.spawn (worker d)) in
+        List.iter Domain.join ds);
+    Array.iteri
+      (fun d ok ->
+        if (not ok) && (d >= 2 || not lethal) then
+          Alcotest.failf "domain %d failed to complete (lethal=%b)" d lethal)
+      completed;
+    (* the all-pairs storm degraded it to the general backend; the
+       queue must still be consistent there *)
+    let h = W.register q in
+    let rec drain n = match W.dequeue q h with Some _ -> drain (n + 1) | None -> n in
+    ignore (drain 0);
+    W.retire q h
+  in
+  run_storm ~lethal:false ~seed:21L;
+  run_storm ~lethal:true ~seed:22L
+
+(* ------------------------------------------------------------------ *)
 (* Determinism: one (sim seed, plan seed) pair is one storm           *)
 
 let storm_trace ~sim_seed ~plan_seed =
@@ -601,6 +998,18 @@ let () =
             test_dead_dequeuer_strands_at_most_one;
           Alcotest.test_case "cleanup survives token-holder death" `Quick
             test_cleanup_token_death_recovers;
+        ] );
+      ( "topology-storms",
+        [
+          Alcotest.test_case "parks at topology points conserve values" `Quick
+            test_topology_park_storm;
+          Alcotest.test_case "dead MPSC producer leaves a skippable hole" `Quick
+            test_topo_dead_producer_leaves_hole;
+          Alcotest.test_case "dead SPMC ticket strands at most one value" `Quick
+            test_topo_dead_ticket_strands_at_most_one;
+          Alcotest.test_case "death during adaptive switch drain recovers" `Quick
+            test_topo_switch_death_recovers;
+          Alcotest.test_case "4-domain adaptive storm smoke" `Quick test_topo_real_storm_smoke;
         ] );
       ( "determinism",
         [ Alcotest.test_case "same seeds, same storm" `Quick test_same_seed_same_storm ] );
