@@ -1,7 +1,12 @@
 (* The CI bench regression gate (logic in Harness.Gate; this is only
    argument parsing, file IO and exit codes):
 
-     bench_gate --baseline BENCH_pr3.json --current BENCH_smoke.json
+     bench_gate --baseline BENCH_pr9.json --current BENCH_smoke.json
+
+   (The baseline file advances with each PR that commits a new one —
+   the workflow's gate step names the current file; both verdict lines
+   below echo the resolved path so a stale baseline is visible in the
+   log even when the gate passes.)
 
    Exit 0: every check passed.
    Exit 1: at least one throughput, slow-path-rate or alloc/op check failed.
@@ -79,11 +84,11 @@ let run baseline_path current_path noise_mult rel_floor max_slow_rate slow_rate_
       noise_mult (rel_floor *. 100.0) baseline_path;
     Format.printf "%a@?" Harness.Gate.pp_checks checks;
     if Harness.Gate.passed checks then begin
-      print_endline "bench_gate: PASS";
+      Printf.printf "bench_gate: PASS (baseline %s)\n" baseline_path;
       exit 0
     end
     else begin
-      print_endline "bench_gate: FAIL";
+      Printf.printf "bench_gate: FAIL (baseline %s)\n" baseline_path;
       exit 1
     end
 

@@ -437,12 +437,34 @@ let shard_cmd =
           if not (Hashtbl.mem present ((d * ops) + i)) then incr missing
         done)
       venq;
-    if !missing > kills * batch then
+    (* Missing-value allowance: only kills that can interrupt a
+       dequeue-side window strand values this audit counts — a kill
+       inside an enqueue (fast/slow/batch/topology enqueue points)
+       fires before the victim's [venq] advanced past the in-flight
+       batch, so its values fall under the killed-victim alien
+       allowance above, never under [missing].  Counting those kills
+       here double-counted them: with bounded shards a producer can
+       be refused ([Would_block] footprint-free rotation) and then
+       killed inside the eventually admitted batch's
+       [Enq_batch_after_faa] window, and the old [kills * batch]
+       bound would quietly absorb a genuine dequeue-side stranding
+       bug under that enqueue kill's allowance. *)
+    let kills_at ps = List.fold_left (fun acc p -> acc + (Inject.stats p).Inject.kills) 0 ps in
+    let enq_side_kills =
+      kills_at
+        (Inject.points_of_class Inject.Enqueue
+        @ [ Inject.Enq_batch_after_faa; Inject.Topo_enq_pending ])
+    in
+    let strand_kills = kills - enq_side_kills in
+    if !missing > strand_kills * batch then
       violations :=
-        Printf.sprintf "%d values missing but only %d kills x batch %d" !missing kills batch
+        Printf.sprintf "%d values missing but only %d dequeue-side kills x batch %d" !missing
+          strand_kills batch
         :: !violations;
-    Printf.printf "  %d value(s) drained post-storm, %d missing (%d kills x batch %d allowed)\n"
-      (List.length !drained) !missing kills batch;
+    Printf.printf
+      "  %d value(s) drained post-storm, %d missing (%d dequeue-side kills of %d x batch %d \
+       allowed)\n"
+      (List.length !drained) !missing strand_kills kills batch;
     Format.printf "@.Per-shard breakdown:@.%a@." R.pp_snapshot_table t;
     if victims > 0 then Format.printf "@.Injected faults:@.%a" Inject.pp_stats ();
     if !failures > 0 || !violations <> [] then begin
@@ -489,6 +511,256 @@ let shard_cmd =
           & flag
           & info [ "kill" ]
               ~doc:"Arm Die: victim domains crash mid-protocol (batch windows included)."))
+
+(* Spike storm on a bounded-memory queue: many producers push through
+   a few consumers with a hard segment cap, optionally with victim
+   producers parking or dying at seed-chosen points (the freelist
+   windows included).  The driver audits the bounded-mode contract:
+   the allocation counter never passes the cap at any sampled instant
+   (the budget makes it monotone, so end-of-run [allocated <= cap]
+   certifies the whole run), live + pooled segments end within the
+   cap, and values are conserved — no duplicate, no alien, and no
+   more missing than the kills can strand (one in-flight value per
+   killed producer). *)
+let bounded_cmd =
+  let module Q = Wfq.Wfqueue_inject in
+  let module S = Baselines.Scq in
+  let run queue producers consumers cap ops victims seed park kill =
+    if producers < 1 || consumers < 1 then begin
+      prerr_endline "repro bounded: need at least one producer and one consumer";
+      exit 2
+    end;
+    if queue = "wf-bounded" && cap < 6 then begin
+      prerr_endline "repro bounded: --cap must be >= 6 (max_garbage + 4 at the driver's settings)";
+      exit 2
+    end;
+    let victims =
+      match victims with
+      | Some k -> max 0 (min k producers)
+      | None -> if kill then max 1 (producers / 2) else 0
+    in
+    (* One spike driver over three queues so the EXPERIMENTS.md table
+       comes from a single command.  Each build exposes: per-domain
+       (enqueue, dequeue-or-minus-one, retire), a post-storm drain, a
+       monotone allocation sample for the mid-run cap audit (0 when
+       the build has no segments), and a footprint summary. *)
+    let make_wf bounded =
+      let q =
+        if bounded then Q.create ~segment_cap:cap ~max_garbage:(max 2 (min 10 (cap - 4))) ()
+        else Q.create ()
+      in
+      let register () =
+        let h = Q.register q in
+        ((fun v -> Q.enqueue q h v), (fun () -> Q.dequeue_or q h (-1)), fun () -> Q.retire q h)
+      in
+      let rec drain acc = match Q.pop q with Some v -> drain (v :: acc) | None -> acc in
+      let footprint () =
+        Printf.sprintf "%d segments allocated, %d live + %d pooled%s, %d cap-pressure waits"
+          (Q.allocated_segments q) (Q.live_segments q) (Q.pooled_segments q)
+          (if bounded then Printf.sprintf " (cap %d)" cap else "")
+          (Q.cap_hits q)
+      in
+      let cap_violation () =
+        if
+          bounded
+          && (Q.allocated_segments q > cap || Q.live_segments q + Q.pooled_segments q > cap)
+        then
+          Some
+            (Printf.sprintf "cap %d exceeded (%d allocated, %d live + %d pooled)" cap
+               (Q.allocated_segments q) (Q.live_segments q) (Q.pooled_segments q))
+        else None
+      in
+      ( register,
+        (fun () -> drain []),
+        (fun () -> if bounded then Q.allocated_segments q else 0),
+        footprint,
+        cap_violation )
+    in
+    let make_scq () =
+      (* ring capacity fixed at 2^12 values: bounded by construction,
+         in value slots rather than segments *)
+      let q = S.create ~order:12 () in
+      let register () =
+        let h = S.register q in
+        ((fun v -> S.enqueue q h v), (fun () -> S.dequeue_or q h (-1)), fun () -> ())
+      in
+      let drain () =
+        let h = S.register q in
+        let rec go acc = match S.dequeue q h with Some v -> go (v :: acc) | None -> acc in
+        go []
+      in
+      let footprint () =
+        Printf.sprintf "fixed ring of %d value slots (no segments)" (S.capacity q)
+      in
+      ( register,
+        drain,
+        (fun () -> 0),
+        footprint,
+        fun () -> None )
+    in
+    let register, drain, sample_alloc, footprint, cap_violation =
+      match queue with
+      | "wf-bounded" -> make_wf true
+      | "wf" -> make_wf false
+      | "scq" -> make_scq ()
+      | other ->
+        Printf.eprintf "repro bounded: unknown --queue %s (wf-bounded | wf | scq)\n" other;
+        exit 2
+    in
+    let plan = Inject.Plan.make ~park ~lethal:kill ~seed:(Int64.of_int seed) () in
+    Inject.reset_stats ();
+    Inject.set_park (fun n -> Unix.sleepf (float_of_int n *. 1e-6));
+    let is_victim = Domain.DLS.new_key (fun () -> false) in
+    if victims > 0 then
+      Inject.install (fun p ->
+          if Domain.DLS.get is_victim then Inject.Plan.decide plan p else Inject.Continue);
+    Printf.printf
+      "Bounded spike storm [%s]: %d producers -> %d consumers, %d values each (%d victims)\n\
+      \  plan: %s\n\
+       %!"
+      queue producers consumers ops victims (Inject.Plan.describe plan);
+    let venq = Array.make producers 0 in
+    let killed = Array.make producers false in
+    let outcome = Array.make producers "spawn failed" in
+    let producers_done = Atomic.make 0 in
+    let cap_breach = Atomic.make (-1) in
+    let producer d () =
+      if d < victims then Domain.DLS.set is_victim true;
+      let enq, _deq, retire = register () in
+      Fun.protect ~finally:retire @@ fun () ->
+      (try
+         for i = 0 to ops - 1 do
+           enq ((d * ops) + i);
+           venq.(d) <- i + 1;
+           (* [allocated_segments] is monotone (budget reservations are
+              never handed back on recycle), so any sample past the cap
+              is a hard-cap violation, not a race *)
+           let a = sample_alloc () in
+           if a > cap then Atomic.set cap_breach a
+         done;
+         outcome.(d) <- "completed"
+       with Inject.Killed p ->
+         killed.(d) <- true;
+         outcome.(d) <- "killed @ " ^ Inject.point_name p);
+      ignore (Atomic.fetch_and_add producers_done 1)
+    in
+    let got = Array.init consumers (fun _ -> ref []) in
+    let consumer c () =
+      let _enq, deq, retire = register () in
+      Fun.protect ~finally:retire @@ fun () ->
+      let idle = ref 0 in
+      while Atomic.get producers_done < producers || !idle < 100 do
+        match deq () with
+        | -1 ->
+          incr idle;
+          Domain.cpu_relax ()
+        | v ->
+          got.(c) := v :: !(got.(c));
+          idle := 0
+      done
+    in
+    let t0 = Primitives.Clock.now_ns () in
+    let domains =
+      List.init producers (fun d -> Domain.spawn (producer d))
+      @ List.init consumers (fun c -> Domain.spawn (consumer c))
+    in
+    List.iter Domain.join domains;
+    let elapsed_s = Int64.to_float (Int64.sub (Primitives.Clock.now_ns ()) t0) /. 1e9 in
+    Inject.remove ();
+    let leftovers = drain () in
+    let seen = Array.make (producers * ops) 0 in
+    let mark v =
+      if v < 0 || v >= producers * ops then begin
+        Printf.printf "\nFAIL: alien value %d surfaced -- replay with --seed %d\n" v seed;
+        exit 1
+      end;
+      seen.(v) <- seen.(v) + 1
+    in
+    Array.iter (fun l -> List.iter mark !l) got;
+    List.iter mark leftovers;
+    let kills = (Inject.total_stats ()).Inject.kills in
+    let missing = ref 0 in
+    let dups = ref 0 in
+    for d = 0 to producers - 1 do
+      for i = 0 to venq.(d) - 1 do
+        let n = seen.((d * ops) + i) in
+        if n = 0 then incr missing;
+        if n > 1 then incr dups
+      done
+    done;
+    let consumed = Array.fold_left (fun a l -> a + List.length !l) 0 got in
+    Printf.printf "\n";
+    Array.iteri
+      (fun d n ->
+        let role = if d < victims then "victim" else "producer" in
+        Printf.printf "  domain %2d  %-8s %-32s %7d/%d enqueued\n" d role outcome.(d) n ops)
+      venq;
+    let total_enq = Array.fold_left ( + ) 0 venq in
+    Printf.printf "  %d consumed + %d drained in %.2fs (%.3f Mops enq+deq); %s\n" consumed
+      (List.length leftovers) elapsed_s
+      (float_of_int (total_enq + consumed) /. elapsed_s /. 1e6)
+      (footprint ());
+    Format.printf "@.Injected faults:@.%a" Inject.pp_stats ();
+    let breach = Atomic.get cap_breach in
+    if breach >= 0 then begin
+      Printf.printf "\nFAIL: %d segments allocated past cap %d -- replay with --seed %d\n" breach
+        cap seed;
+      exit 1
+    end;
+    (match cap_violation () with
+    | Some msg ->
+      Printf.printf "\nFAIL: %s -- replay with --seed %d\n" msg seed;
+      exit 1
+    | None -> ());
+    if !dups > 0 then begin
+      Printf.printf "\nFAIL: %d value(s) dequeued twice -- replay with --seed %d\n" !dups seed;
+      exit 1
+    end;
+    if !missing > kills then begin
+      Printf.printf "\nFAIL: %d value(s) missing but only %d kill(s) -- replay with --seed %d\n"
+        !missing kills seed;
+      exit 1
+    end;
+    Printf.printf "\nOK [%s]: spike survived (%d kills, %d missing <= kills); values conserved.\n"
+      queue kills !missing
+  in
+  Cmd.v
+    (Cmd.info "bounded"
+       ~doc:
+         "Bounded-memory spike storm: producers >> consumers with a hard segment cap, with \
+          optional fault injection (wf builds); audits the cap and value conservation.  --queue \
+          wf-bounded (capped segments), wf (unbounded control), scq (fixed ring)")
+    Term.(
+      const run
+      $ Arg.(
+          value
+          & opt string "wf-bounded"
+          & info [ "queue" ] ~docv:"Q" ~doc:"Queue under storm: wf-bounded, wf, or scq.")
+      $ Arg.(value & opt int 6 & info [ "producers" ] ~docv:"N" ~doc:"Producer domains.")
+      $ Arg.(value & opt int 2 & info [ "consumers" ] ~docv:"N" ~doc:"Consumer domains.")
+      $ Arg.(
+          value
+          & opt int 12
+          & info [ "cap" ] ~docv:"C" ~doc:"Hard segment cap (wf-bounded only).")
+      $ Arg.(value & opt int 10_000 & info [ "ops" ] ~docv:"N" ~doc:"Values per producer.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "victims" ] ~docv:"K"
+              ~doc:"Producer domains subject to the fault plan (default: half when --kill).")
+      $ Arg.(
+          value
+          & opt int 42
+          & info [ "seed" ] ~docv:"SEED" ~doc:"Fault-plan seed; a failure replays from it.")
+      $ Arg.(
+          value
+          & opt int 200
+          & info [ "park" ] ~docv:"UNITS"
+              ~doc:"Stall length in park units (one unit is 1us in this driver).")
+      $ Arg.(
+          value
+          & flag
+          & info [ "kill" ] ~doc:"Arm Die: victim producers crash mid-protocol."))
 
 (* Role-split storm on the injectable topology variants.  Producers
    and consumers are separate domains laid out to the variant's
@@ -782,6 +1054,7 @@ let () =
             stats_cmd;
             inject_cmd;
             shard_cmd;
+            bounded_cmd;
             topology_cmd;
             list_cmd;
             all_cmd;

@@ -125,6 +125,13 @@ let default_rows ?warmup_pairs ?pairs () =
     measure ?warmup_pairs ?pairs ~via_dequeue_or:true (Queues.wf_spmc ());
     (* adaptive shards: single-handle steady state stays on SPSC *)
     measure ?warmup_pairs ?pairs ~via_dequeue_or:true (Queues.wf_shard_adaptive ());
+    (* bounded-memory mode: the cap bookkeeping (admission reads, the
+       budget FAA, pool recycling) must add no words per operation *)
+    measure ?warmup_pairs ?pairs ~via_dequeue_or:true
+      (Queues.wf_bounded ~name:"wf-bounded-deq-or" ());
+    (* the SCQ ring baseline: a fixed array, so the steady state has
+       nothing to allocate at all *)
+    measure ?warmup_pairs ?pairs ~via_dequeue_or:true (Queues.scq ~name:"scq-deq-or" ());
   ]
 
 let row_to_json r =

@@ -377,6 +377,61 @@ let simple name description is_real_queue make_ops =
         });
   }
 
+(* The bounded-memory build of the production queue (DESIGN.md §11):
+   a hard segment cap with freelist-recycled segments.  The bench ops
+   use the plain (blocking-backpressure) enqueue — the pairs workload
+   never approaches the cap, so the row prices the bounded build's
+   bookkeeping (budget FAA per fresh segment, admission fields), not
+   contention on the cap. *)
+let wf_bounded ?(patience = 10) ?(segment_cap = 64) ?segment_shift ?max_garbage ?name () =
+  let name = match name with Some n -> n | None -> "wf-bounded" in
+  {
+    name;
+    description =
+      Printf.sprintf "wait-free queue, bounded-memory mode (cap %d segments)" segment_cap;
+    is_real_queue = true;
+    make =
+      (fun () ->
+        let q =
+          Wfq.Wfqueue.create ~patience ~segment_cap ?segment_shift ?max_garbage ()
+        in
+        {
+          iname = name;
+          register =
+            (fun () ->
+              let h = Wfq.Wfqueue.register q in
+              make_ops
+                ~enqueue:(fun v -> Wfq.Wfqueue.enqueue q h v)
+                ~dequeue:(fun () -> Wfq.Wfqueue.dequeue q h)
+                ~dequeue_or:(fun d -> Wfq.Wfqueue.dequeue_or q h d)
+                ~release:(fun () -> Wfq.Wfqueue.retire q h)
+                ());
+          op_stats = (fun () -> Some (Wfq.Wfqueue.stats q));
+          reset_op_stats = (fun () -> Wfq.Wfqueue.reset_stats q);
+          snapshot = (fun () -> Some (Wfq.Wfqueue.snapshot q));
+        });
+  }
+
+(* Nikolaev's SCQ (arXiv:1908.04511): the bounded lock-free ring
+   baseline the bounded WF mode is measured against.  Capacity
+   2^order; [enqueue] spins on a full ring (the pairs workload keeps
+   the backlog at worker count, far below capacity), [dequeue_or] is
+   the native allocation-free path. *)
+let scq ?(order = 12) ?name () =
+  let name = match name with Some n -> n | None -> "scq" in
+  simple name
+    (Printf.sprintf "SCQ bounded ring, capacity %d (lock-free)" (1 lsl order))
+    true
+    (fun () ->
+      let q = Baselines.Scq.create ~order () in
+      fun () ->
+        let h = Baselines.Scq.register q in
+        make_ops
+          ~enqueue:(fun v -> Baselines.Scq.enqueue q h v)
+          ~dequeue:(fun () -> Baselines.Scq.dequeue q h)
+          ~dequeue_or:(fun d -> Baselines.Scq.dequeue_or q h d)
+          ~release:ignore ())
+
 let lcrq ?(ring_size = 4096) () =
   simple "lcrq"
     (Printf.sprintf "LCRQ, ring size %d (lock-free)" ring_size)
@@ -475,7 +530,9 @@ let all =
     wf_mpsc ();
     wf_spmc ();
     wf_shard_adaptive ();
+    wf_bounded ();
     wf_llsc;
+    scq ();
     lcrq ();
     ccqueue;
     msqueue;
@@ -494,6 +551,8 @@ let figure2_set =
     wf_shard ~shards:8 ();
     wf_batch ~batch:8 ();
     wf_shard_adaptive ();
+    wf_bounded ();
+    scq ();
     lcrq ();
     ccqueue;
     msqueue;

@@ -117,12 +117,33 @@ val wf_shard_adaptive :
     general backend plus dispatch, the honest number for
     handle-churning callers. *)
 
+val wf_bounded :
+  ?patience:int ->
+  ?segment_cap:int ->
+  ?segment_shift:int ->
+  ?max_garbage:int ->
+  ?name:string ->
+  unit ->
+  factory
+(** The bounded-memory build of the production queue
+    ([Wfqueue.create ~segment_cap], default cap 64 segments): hard
+    segment bound, freelist-recycled segments, blocking backpressure
+    on exhaustion.  Benched against {!wf} to price the bounded
+    bookkeeping on a workload that never hits the cap. *)
+
+val scq : ?order:int -> ?name:string -> unit -> factory
+(** Nikolaev's SCQ ([Baselines.Scq], arXiv:1908.04511): the bounded
+    lock-free ring baseline, capacity [2^order] (default [2^12]).
+    [enqueue] spins on a full ring; [dequeue_or] is native. *)
+
 val all : factory list
 (** The evaluation set: wf-10, wf-0, wf-10-obs (instrumented), wf-int-10
     (int-specialized API), wf-shard-2/8 (sharded router), wf-batch-8
     (FAA batching), wf-spsc/wf-mpsc/wf-spmc (specialized topology
-    variants), wf-shard-adaptive, wf-llsc
-    (CAS-emulated FAA, the paper's Power7 configuration), lcrq,
+    variants), wf-shard-adaptive, wf-bounded (capped segment
+    freelist), wf-llsc
+    (CAS-emulated FAA, the paper's Power7 configuration), scq
+    (bounded ring), lcrq,
     ccqueue, msqueue, kp (Kogan-Petrank), two-lock, mutex, faa. *)
 
 val figure2_set : factory list

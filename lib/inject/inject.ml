@@ -15,8 +15,10 @@ type point =
   | Topo_enq_pending
   | Topo_deq_pending
   | Topo_switch_draining
+  | Seg_pool_acquire
+  | Seg_pool_release
 
-type cls = Enqueue | Dequeue | Batch | Helping | Cleanup | Hazard | Topology
+type cls = Enqueue | Dequeue | Batch | Helping | Cleanup | Hazard | Topology | Pool
 
 (* New points append at the end of [all_points]: [Plan.make] draws its
    per-point ordinals in this order, so appending keeps the arming of
@@ -38,6 +40,8 @@ let all_points =
     Topo_enq_pending;
     Topo_deq_pending;
     Topo_switch_draining;
+    Seg_pool_acquire;
+    Seg_pool_release;
   ]
 
 let index = function
@@ -55,6 +59,8 @@ let index = function
   | Topo_enq_pending -> 11
   | Topo_deq_pending -> 12
   | Topo_switch_draining -> 13
+  | Seg_pool_acquire -> 14
+  | Seg_pool_release -> 15
 
 let n_points = List.length all_points
 
@@ -66,6 +72,7 @@ let class_of = function
   | Cleanup_token_held -> Cleanup
   | Hazard_published -> Hazard
   | Topo_enq_pending | Topo_deq_pending | Topo_switch_draining -> Topology
+  | Seg_pool_acquire | Seg_pool_release -> Pool
 
 let point_name = function
   | Enq_fast_after_faa -> "enq_fast_after_faa"
@@ -82,6 +89,8 @@ let point_name = function
   | Topo_enq_pending -> "topo_enq_pending"
   | Topo_deq_pending -> "topo_deq_pending"
   | Topo_switch_draining -> "topo_switch_draining"
+  | Seg_pool_acquire -> "seg_pool_acquire"
+  | Seg_pool_release -> "seg_pool_release"
 
 let class_name = function
   | Enqueue -> "enqueue"
@@ -91,6 +100,7 @@ let class_name = function
   | Cleanup -> "cleanup"
   | Hazard -> "hazard"
   | Topology -> "topology"
+  | Pool -> "pool"
 
 let points_of_class c = List.filter (fun p -> class_of p = c) all_points
 

@@ -72,7 +72,23 @@
     - [Topo_switch_draining]: the adaptive queue holds the switch
       token with the old backend quiesced but not yet drained — dying
       here must restore the old backend, losing and duplicating
-      nothing. *)
+      nothing.
+
+    The [Pool] class covers the bounded-mode segment freelist
+    (DESIGN.md §11):
+
+    - [Seg_pool_acquire]: a bounded-mode operation is waiting on cap
+      pressure and about to re-poll — either a blocking enqueue parked
+      hazard-free at the admission line, or a segment request that
+      found the pool empty and the budget spent (the admission
+      overshoot path).  The backpressure window: dying here must leave
+      the budget accounting exact (the victim holds no reservation),
+      and parking here must not wedge concurrent acquires.
+    - [Seg_pool_release]: the cleaner detached a retired segment and
+      reset it but has not yet pushed it to the freelist — dying here
+      leaks that segment's capacity (documented: a crashed cleaner
+      costs cap slots, never safety), and must not let the segment
+      become reachable from two chains. *)
 type point =
   | Enq_fast_after_faa
   | Enq_slow_published
@@ -88,8 +104,10 @@ type point =
   | Topo_enq_pending
   | Topo_deq_pending
   | Topo_switch_draining
+  | Seg_pool_acquire
+  | Seg_pool_release
 
-type cls = Enqueue | Dequeue | Batch | Helping | Cleanup | Hazard | Topology
+type cls = Enqueue | Dequeue | Batch | Helping | Cleanup | Hazard | Topology | Pool
 
 val all_points : point list
 val class_of : point -> cls

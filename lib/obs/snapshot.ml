@@ -8,6 +8,8 @@ type segments = {
   pooled : int;
   live : int;
   cleanups : int;
+  cap : int;
+  cap_hits : int;
 }
 
 type handles = { ring : int; live : int; free_slots : int }
@@ -35,6 +37,8 @@ let merge a b =
         pooled = a.segments.pooled + b.segments.pooled;
         live = a.segments.live + b.segments.live;
         cleanups = a.segments.cleanups + b.segments.cleanups;
+        cap = a.segments.cap + b.segments.cap;
+        cap_hits = a.segments.cap_hits + b.segments.cap_hits;
       };
     handles =
       {
@@ -59,6 +63,9 @@ let pp ppf t =
     "segments: %d allocated, %d reclaimed (%d cleanups), %d recycled, %d wasted, %d pooled, %d live@,"
     t.segments.allocated t.segments.reclaimed t.segments.cleanups t.segments.recycled
     t.segments.wasted t.segments.pooled t.segments.live;
+  if t.segments.cap > 0 then
+    Format.fprintf ppf "bounded:  cap %d segments (%d pressure hits)@," t.segments.cap
+      t.segments.cap_hits;
   Format.fprintf ppf "handles:  %d ring slots (%d live, %d free); patience %d"
     t.handles.ring t.handles.live t.handles.free_slots t.patience;
   Format.fprintf ppf "@]"

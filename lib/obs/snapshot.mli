@@ -18,6 +18,10 @@ type segments = {
   live : int;  (** current length of the segment list *)
   cleanups : int;  (** cleanup runs that actually reclaimed (the
                        [max_garbage] amortization events) *)
+  cap : int;  (** bounded-mode segment cap; [0] = unbounded (merging
+                  sums caps, matching the summed [live]/[pooled]) *)
+  cap_hits : int;  (** acquire attempts that found the pool empty at
+                       the cap and had to wait for a release *)
 }
 
 type handles = {

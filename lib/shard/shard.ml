@@ -10,15 +10,18 @@ module type QUEUE = sig
     ?segment_shift:int ->
     ?max_garbage:int ->
     ?reclamation:bool ->
+    ?segment_cap:int ->
     unit ->
     'a t
 
   val register : 'a t -> 'a handle
   val retire : 'a t -> 'a handle -> unit
   val enqueue : 'a t -> 'a handle -> 'a -> unit
+  val try_enqueue : 'a t -> 'a handle -> 'a -> bool
   val dequeue : 'a t -> 'a handle -> 'a option
   val dequeue_or : 'a t -> 'a handle -> 'a -> 'a
   val enq_batch : 'a t -> 'a handle -> 'a array -> unit
+  val try_enq_batch : 'a t -> 'a handle -> 'a array -> bool
   val deq_batch : 'a t -> 'a handle -> int -> 'a option array
   val deq_batch_into : 'a t -> 'a handle -> 'a array -> default:'a -> int
   val approx_length : 'a t -> int
@@ -27,7 +30,11 @@ module type QUEUE = sig
 end
 
 module Router (A : Primitives.Atomic_prims.S) (Q : QUEUE) = struct
-  exception Would_block
+  (* Rebinding, not a fresh exception: the router's backpressure
+     signal is the same value as the bounded queue's, so one handler
+     covers "router capacity full" and "shard segment cap full"
+     uniformly across every (A, Q) instantiation. *)
+  exception Would_block = Wfq.Wfqueue_algo.Would_block
 
   type 'a t = {
     shards : 'a Q.t array;
@@ -52,7 +59,7 @@ module Router (A : Primitives.Atomic_prims.S) (Q : QUEUE) = struct
   }
 
   let create ?(shards = 2) ?capacity ?(rebalance_every = 64) ?patience ?segment_shift
-      ?max_garbage ?reclamation () =
+      ?max_garbage ?reclamation ?segment_cap () =
     if shards < 1 then invalid_arg "Shard.Router.create: shards < 1";
     if rebalance_every < 1 then invalid_arg "Shard.Router.create: rebalance_every < 1";
     let capacity =
@@ -64,7 +71,7 @@ module Router (A : Primitives.Atomic_prims.S) (Q : QUEUE) = struct
     {
       shards =
         Array.init shards (fun _ ->
-            Q.create ?patience ?segment_shift ?max_garbage ?reclamation ());
+            Q.create ?patience ?segment_shift ?max_garbage ?reclamation ?segment_cap ());
       n = shards;
       capacity;
       rebalance_every;
@@ -110,32 +117,33 @@ module Router (A : Primitives.Atomic_prims.S) (Q : QUEUE) = struct
      allocation, and the alloc gate holds it to the same zero as the
      shards underneath. *)
 
-  (* Find a shard with room for [k] more values, home first. *)
-  let rec find_room t h k j =
+  (* One routed attempt: rotate from the home shard, placing the value
+     on the first shard that passes both the router's value-count
+     check ([has_room], the [~capacity] bound) and the shard's own
+     admission ([Q.try_enqueue] — where a bounded underlying queue
+     says no).  The two bounds compose into one backpressure policy:
+     either rejection just moves the rotation on, and only a full
+     rotation reports [-1].  The unbounded/unbounded composition takes
+     this same path at the old direct-enqueue cost — [j = 0] is the
+     home shard, [capacity = max_int] short-circuits [has_room], an
+     unbounded [Q.try_enqueue] admits unconditionally, and [move_home]
+     self-guards on [s = enq_shard]. *)
+  let rec route_enq t h v j =
     if j = t.n then -1
     else
       let s = (h.enq_shard + j) mod t.n in
-      if has_room t s k then s else find_room t h k (j + 1)
-
-  let enq_one t h s v = Q.enqueue t.shards.(s) h.hs.(s) v
+      if (t.capacity = max_int || has_room t s 1) && Q.try_enqueue t.shards.(s) h.hs.(s) v
+      then s
+      else route_enq t h v (j + 1)
 
   let try_enqueue_shard t h v =
-    if t.capacity = max_int then begin
-      let s = h.enq_shard in
-      enq_one t h s v;
-      after_enqueue t h 1;
-      s
+    let s = route_enq t h v 0 in
+    if s >= 0 then begin
+      move_home t h s;
+      after_enqueue t h 1
     end
-    else begin
-      let s = find_room t h 1 0 in
-      if s >= 0 then begin
-        move_home t h s;
-        enq_one t h s v;
-        after_enqueue t h 1
-      end
-      else ignore (A.fetch_and_add t.blocked 1);
-      s
-    end
+    else ignore (A.fetch_and_add t.blocked 1);
+    s
 
   let try_enqueue t h v = try_enqueue_shard t h v >= 0
 
@@ -150,20 +158,24 @@ module Router (A : Primitives.Atomic_prims.S) (Q : QUEUE) = struct
   let enqueue t h v = ignore (enqueue' t h v)
   let enqueue_exn t h v = if not (try_enqueue t h v) then raise Would_block
 
+  (* Same rotation as [route_enq]; the batch is placed whole (one
+     shard, one tail FAA) or not at all on each candidate. *)
+  let rec route_batch t h vs k j =
+    if j = t.n then -1
+    else
+      let s = (h.enq_shard + j) mod t.n in
+      if (t.capacity = max_int || has_room t s k)
+         && Q.try_enq_batch t.shards.(s) h.hs.(s) vs
+      then s
+      else route_batch t h vs k (j + 1)
+
   let try_enq_batch_shard t h vs =
     let k = Array.length vs in
     if k = 0 then h.enq_shard
-    else if t.capacity = max_int then begin
-      let s = h.enq_shard in
-      Q.enq_batch t.shards.(s) h.hs.(s) vs;
-      after_enqueue t h k;
-      s
-    end
     else begin
-      let s = find_room t h k 0 in
+      let s = route_batch t h vs k 0 in
       if s >= 0 then begin
         move_home t h s;
-        Q.enq_batch t.shards.(s) h.hs.(s) vs;
         after_enqueue t h k
       end
       else ignore (A.fetch_and_add t.blocked 1);

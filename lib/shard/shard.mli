@@ -62,15 +62,29 @@ module type QUEUE = sig
     ?segment_shift:int ->
     ?max_garbage:int ->
     ?reclamation:bool ->
+    ?segment_cap:int ->
     unit ->
     'a t
+  (** [segment_cap] selects the queue's own bounded-memory mode where
+      supported (see [Wfqueue.create]); implementations without one
+      may ignore it or refuse it, but must accept the argument. *)
 
   val register : 'a t -> 'a handle
   val retire : 'a t -> 'a handle -> unit
   val enqueue : 'a t -> 'a handle -> 'a -> unit
+
+  val try_enqueue : 'a t -> 'a handle -> 'a -> bool
+  (** Admission-checked enqueue: [false] means the queue refused the
+      value right now (bounded-memory admission); an unbounded queue
+      always admits.  A [false] must have no protocol footprint. *)
+
   val dequeue : 'a t -> 'a handle -> 'a option
   val dequeue_or : 'a t -> 'a handle -> 'a -> 'a
   val enq_batch : 'a t -> 'a handle -> 'a array -> unit
+
+  val try_enq_batch : 'a t -> 'a handle -> 'a array -> bool
+  (** All-or-nothing admission for a whole batch. *)
+
   val deq_batch : 'a t -> 'a handle -> int -> 'a option array
   val deq_batch_into : 'a t -> 'a handle -> 'a array -> default:'a -> int
   val approx_length : 'a t -> int
@@ -83,7 +97,10 @@ module Router (A : Primitives.Atomic_prims.S) (Q : QUEUE) : sig
   type 'a handle
 
   exception Would_block
-  (** Raised by {!enqueue_exn} when every shard is at capacity. *)
+  (** Raised by {!enqueue_exn} when every shard refused the value —
+      the {e same exception value} as [Wfqueue.Would_block], so one
+      handler covers both the router's [~capacity] bound and a bounded
+      shard's segment cap, in any composition. *)
 
   val create :
     ?shards:int ->
@@ -93,6 +110,7 @@ module Router (A : Primitives.Atomic_prims.S) (Q : QUEUE) : sig
     ?segment_shift:int ->
     ?max_garbage:int ->
     ?reclamation:bool ->
+    ?segment_cap:int ->
     unit ->
     'a t
   (** [create ()] builds a router over [shards] (default 2) internal
@@ -100,6 +118,14 @@ module Router (A : Primitives.Atomic_prims.S) (Q : QUEUE) : sig
 
       [capacity] bounds each shard (approximately, see the module
       header); omitted means unbounded.
+
+      [segment_cap] is forwarded to every shard's [Q.create],
+      switching each shard into its own bounded-memory mode (a {e
+      hard} per-shard segment bound, [Wfqueue.create]); the router's
+      rotation then treats a shard's admission refusal exactly like a
+      full [capacity] shard, so the two bounds compose into one
+      backpressure policy ({!enqueue} blocks, {!try_enqueue} reports
+      [false], {!enqueue_exn} raises {!Would_block}).
 
       [rebalance_every] (default 64) is the producer-affinity
       rebalance period: after that many values a handle draws a fresh

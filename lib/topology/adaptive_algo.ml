@@ -80,6 +80,7 @@ struct
     o_segment_shift : int option;
     o_max_garbage : int option;
     o_reclamation : bool option;
+    o_segment_cap : int option;
   }
 
   type 'a t = {
@@ -95,8 +96,15 @@ struct
   let probe_enabled = P.enabled
   let injector_enabled = I.enabled
 
+  (* [o_segment_cap] reaches only the general backend: the specialized
+     variants recycle through [Segs]' bounded pool already and have no
+     bounded-memory admission of their own, so the cap takes effect
+     when (and only when) the queue degrades to general.  Documented
+     in DESIGN.md §11. *)
   let make_backend opts mode : 'a backend =
-    let { o_patience; o_segment_shift; o_max_garbage; o_reclamation } = opts in
+    let { o_patience; o_segment_shift; o_max_garbage; o_reclamation; o_segment_cap } =
+      opts
+    in
     match mode with
     | `Spsc ->
         Bspsc
@@ -113,15 +121,17 @@ struct
     | `General ->
         Bgen
           (G.create ?patience:o_patience ?segment_shift:o_segment_shift
-             ?max_garbage:o_max_garbage ?reclamation:o_reclamation ())
+             ?max_garbage:o_max_garbage ?reclamation:o_reclamation
+             ?segment_cap:o_segment_cap ())
 
-  let create ?patience ?segment_shift ?max_garbage ?reclamation () =
+  let create ?patience ?segment_shift ?max_garbage ?reclamation ?segment_cap () =
     let opts =
       {
         o_patience = patience;
         o_segment_shift = segment_shift;
         o_max_garbage = max_garbage;
         o_reclamation = reclamation;
+        o_segment_cap = segment_cap;
       }
     in
     {
@@ -344,6 +354,33 @@ struct
        raise e);
     exit_op h
 
+  (* Bounded admission lives in the general backend only (see
+     [make_backend]); a specialized backend admits unconditionally, so
+     [try_enqueue] there is [enqueue] returning [true]. *)
+  let try_enqueue t h v =
+    note_producer t h;
+    let b = enter t h in
+    let r =
+      try
+        match b, h.sub with
+        | Bspsc q, Sub_spsc sh ->
+            Sp.enqueue q sh v;
+            true
+        | Bmpsc q, Sub_mpsc sh ->
+            Mp.enqueue q sh v;
+            true
+        | Bspmc q, Sub_spmc sh ->
+            Sm.enqueue q sh v;
+            true
+        | Bgen q, Sub_gen sh -> G.try_enqueue q sh v
+        | _ -> assert false
+      with e ->
+        exit_op h;
+        raise e
+    in
+    exit_op h;
+    r
+
   let dequeue t h =
     note_consumer t h;
     let b = enter t h in
@@ -394,6 +431,30 @@ struct
        exit_op h;
        raise e);
     exit_op h
+
+  let try_enq_batch t h vs =
+    note_producer t h;
+    let b = enter t h in
+    let r =
+      try
+        match b, h.sub with
+        | Bspsc q, Sub_spsc sh ->
+            Sp.enq_batch q sh vs;
+            true
+        | Bmpsc q, Sub_mpsc sh ->
+            Mp.enq_batch q sh vs;
+            true
+        | Bspmc q, Sub_spmc sh ->
+            Sm.enq_batch q sh vs;
+            true
+        | Bgen q, Sub_gen sh -> G.try_enq_batch q sh vs
+        | _ -> assert false
+      with e ->
+        exit_op h;
+        raise e
+    in
+    exit_op h;
+    r
 
   let deq_batch t h k =
     note_consumer t h;

@@ -123,14 +123,26 @@ module Make (A : Primitives.Atomic_prims.S) = struct
         end
         else pool_pop t
 
-  (* The segment must already be detached ([next] is set to [Recycled]
-     here, before the push, so a stale walker can never follow a
-     pooled segment's old link) and its cells all-bottom.  [pooled]
-     can transiently overshoot [pool_limit] by the number of
-     concurrent pushers; the bound is advisory. *)
+  (* The segment must already be detached ([next] is moved to
+     [Recycled] here, before the push, so a stale walker can never
+     follow a pooled segment's old link) and its cells all-bottom.
+     [pooled] can transiently overshoot [pool_limit] by the number of
+     concurrent pushers; the bound is advisory.
+
+     The [Recycled] transition is a CAS claim, not a blind store: only
+     the releaser that performs the transition pushes.  A double
+     release — e.g. a drainer killed after handing its segment to the
+     pool, whose segment the switch epilogue then releases again —
+     finds [Recycled] already in place and backs off, where a blind
+     store would insert the segment twice and hand it to two acquirers
+     (one segment spliced into two chains). *)
   let pool_push t s =
-    A.set s.next Recycled;
-    if t.pool_enabled && A.get t.pooled < t.pool_limit then begin
+    let rec claim () =
+      match A.get s.next with
+      | Recycled -> false
+      | old -> A.compare_and_set s.next old Recycled || claim ()
+    in
+    if claim () && t.pool_enabled && A.get t.pooled < t.pool_limit then begin
       ignore (A.fetch_and_add t.pooled 1);
       let rec push () =
         let old = A.get t.pool in
@@ -230,5 +242,7 @@ module Make (A : Primitives.Atomic_prims.S) = struct
       pooled = max 0 (A.get t.pooled);
       live = A.get t.live;
       cleanups = 0;
+      cap = 0;
+      cap_hits = 0;
     }
 end

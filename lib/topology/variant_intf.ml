@@ -10,14 +10,26 @@ module type S = sig
   type 'a handle
 
   val create :
-    ?patience:int -> ?segment_shift:int -> ?max_garbage:int -> ?reclamation:bool -> unit -> 'a t
+    ?patience:int ->
+    ?segment_shift:int ->
+    ?max_garbage:int ->
+    ?reclamation:bool ->
+    ?segment_cap:int ->
+    unit ->
+    'a t
 
   val register : 'a t -> 'a handle
   val retire : 'a t -> 'a handle -> unit
   val enqueue : 'a t -> 'a handle -> 'a -> unit
+
+  val try_enqueue : 'a t -> 'a handle -> 'a -> bool
+  (* Bounded-memory admission (false = refused right now); variants
+     without a bounded mode always admit. *)
+
   val dequeue : 'a t -> 'a handle -> 'a option
   val dequeue_or : 'a t -> 'a handle -> 'a -> 'a
   val enq_batch : 'a t -> 'a handle -> 'a array -> unit
+  val try_enq_batch : 'a t -> 'a handle -> 'a array -> bool
   val deq_batch : 'a t -> 'a handle -> int -> 'a option array
   val deq_batch_into : 'a t -> 'a handle -> 'a array -> default:'a -> int
   val approx_length : 'a t -> int

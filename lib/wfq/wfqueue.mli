@@ -42,8 +42,21 @@
 type 'a t
 type 'a handle
 
+exception Would_block
+(** Raised by {!enqueue_exn}/{!enq_batch_exn} when a bounded queue's
+    admission check rejects the operation.  The same exception value
+    across every instantiation of the algorithm (this module,
+    [Wfqueue_obs], [Wfqueue_inject], the simsched build) and the
+    sharded router, so one handler covers any composition. *)
+
 val create :
-  ?patience:int -> ?segment_shift:int -> ?max_garbage:int -> ?reclamation:bool -> unit -> 'a t
+  ?patience:int ->
+  ?segment_shift:int ->
+  ?max_garbage:int ->
+  ?reclamation:bool ->
+  ?segment_cap:int ->
+  unit ->
+  'a t
 (** Creates an empty queue.
 
     [patience] is the number of extra fast-path attempts before an
@@ -58,7 +71,22 @@ val create :
     (default 16).
 
     [reclamation] (default true) can disable segment unlinking
-    entirely, for the reclamation ablation benchmark. *)
+    entirely, for the reclamation ablation benchmark.
+
+    [segment_cap] switches the queue into {e bounded-memory mode}
+    (DESIGN.md §11): the total number of segments ever materialized —
+    live in the chain, pooled in the freelist, or privately held by an
+    appender — never exceeds the cap.  Segment acquisition then draws
+    on a budget-guarded freelist: when the budget is spent and the
+    freelist is empty, the acquiring operation waits (backpressure)
+    for a cleanup to recycle a segment.  The cap is a {b hard} memory
+    bound; admission ({!try_enqueue}/{!enqueue_exn}) is an {e
+    advisory} index-distance check layered above it so producers can
+    observe fullness without blocking.  Requires
+    [segment_cap >= max_garbage + 4] (cleanup must always be able to
+    reach its threshold with segments to spare) and [reclamation =
+    true] (recycling is what refills the freelist);
+    @raise Invalid_argument otherwise.  Default: unbounded. *)
 
 val register : 'a t -> 'a handle
 (** A handle for the calling domain: a retired ring slot is recycled
@@ -69,11 +97,38 @@ val register : 'a t -> 'a handle
     domain; do not call per operation. *)
 
 val enqueue : 'a t -> 'a handle -> 'a -> unit
-(** Wait-free enqueue (Listing 3). *)
+(** Wait-free enqueue (Listing 3).  In bounded mode this always
+    succeeds, blocking {e at the admission line} — before any ticket
+    or hazard pointer is taken — until dequeues make room
+    (backpressure, not failure).  Waiting up front keeps a blocked
+    producer from pinning the oldest segment against reclamation,
+    which is what wedges designs that park inside segment
+    acquisition.  Progress requires consumers: with no dequeuer a
+    full bounded queue blocks indefinitely (that is the contract —
+    use {!try_enqueue} to poll instead). *)
+
+val try_enqueue : 'a t -> 'a handle -> 'a -> bool
+(** Admission-checked enqueue: [false] if a bounded queue looks full
+    ([tail - head >= enq_capacity]), otherwise {!enqueue} and [true].
+    The check is {e admission-first}: rejection happens before any
+    ticket is taken, so a [false] has zero protocol footprint (no
+    poisoned cell, no request).  Advisory under concurrency — racing
+    producers can each pass the check and overshoot by their count —
+    but the segment cap itself stays hard (overshooting producers
+    block in acquisition).  Unbounded queues always admit. *)
+
+val enqueue_exn : 'a t -> 'a handle -> 'a -> unit
+(** {!try_enqueue} raising {!Would_block} instead of returning
+    [false]. *)
 
 val dequeue : 'a t -> 'a handle -> 'a option
 (** Wait-free dequeue (Listing 4); [None] means the queue was
-    observed empty (the paper's EMPTY). *)
+    observed empty (the paper's EMPTY).  Bounded queues take a
+    pre-FAA empty check (EMPTY without burning a head ticket):
+    the paper's unconditional ticket is harmless with unbounded
+    memory, but under a segment cap an idle poller's tickets would
+    drag the head through segments that must be materialized from
+    the same budget producers need. *)
 
 val dequeue_or : 'a t -> 'a handle -> 'a -> 'a
 (** [dequeue_or q h default] is {!dequeue} returning [default] when
@@ -93,7 +148,19 @@ val enq_batch : 'a t -> 'a handle -> 'a array -> unit
     enqueues are.  The batch is {b not atomic}: each value is a
     separate enqueue whose linearization point falls somewhere in the
     call's interval, in cell (= FIFO) order on the uncontended path.
-    A zero-length batch is a no-op (no FAA). *)
+    A zero-length batch is a no-op (no FAA).  In bounded mode the
+    batch waits at the admission line like {!enqueue}, for
+    [min k enq_capacity] cells of room — a batch wider than the line
+    could never be admitted whole, so the allocation budget absorbs
+    the excess. *)
+
+val try_enq_batch : 'a t -> 'a handle -> 'a array -> bool
+(** Admission-checked {!enq_batch}: the whole batch is admitted or
+    rejected as a unit ([tail - head + k <= enq_capacity]), with the
+    same advisory-admission/hard-cap contract as {!try_enqueue}. *)
+
+val enq_batch_exn : 'a t -> 'a handle -> 'a array -> unit
+(** {!try_enq_batch} raising {!Would_block} on rejection. *)
 
 val deq_batch : 'a t -> 'a handle -> int -> 'a option array
 (** Wait-free batch dequeue: reserves [k] consecutive cells with one
@@ -181,6 +248,22 @@ val pooled_segments : 'a t -> int
 
 val live_segments : 'a t -> int
 (** Length of the current segment list (walks it; O(live)). *)
+
+val segment_cap : 'a t -> int option
+(** The bounded-mode segment cap, or [None] when unbounded. *)
+
+val enq_capacity : 'a t -> int option
+(** The admission threshold in cells
+    ([(cap - max_garbage - 2) * 2^segment_shift]), or [None] when
+    unbounded.  {!try_enqueue} rejects once [tail - head] would
+    exceed this. *)
+
+val cap_hits : 'a t -> int
+(** Bounded-mode pressure events: blocking enqueues that had to wait
+    at the admission line, plus segment acquisitions that found the
+    budget spent and the freelist empty and had to wait for a
+    recycle.  Not incremented by [try_*] admission rejections (those
+    return immediately); always [0] when unbounded. *)
 
 val oldest_segment_id : 'a t -> int
 (** The paper's [I]: id of the oldest live segment, or [-1] while a
@@ -300,7 +383,17 @@ module Internal : sig
       [max_garbage] threshold check failing due to staleness. *)
 
   val pool_limit : 'a t -> int
-  (** Capacity of the segment recycling pool. *)
+  (** Capacity of the segment recycling pool.  In bounded mode this
+      equals the segment cap, so a recycled segment is never dropped
+      to the GC (dropping would leak budget: the cap counts segments
+      ever created, and a dropped segment's budget is never
+      returned). *)
+
+  val seg_budget : 'a t -> int
+  (** Remaining fresh-allocation budget (bounded mode: starts at
+      [cap - 1], the initial segment having consumed one).  May read
+      transiently negative under concurrent acquires (losers give
+      their reservation back).  [max_int]-ish when unbounded. *)
 
   val pool_length : 'a t -> int
   (** Actual length of the pool's free list (walks it).  The

@@ -7,7 +7,11 @@
 type t = int Wfqueue.t
 type handle = int Wfqueue.handle
 
+exception Would_block = Wfqueue.Would_block
+
 let create = Wfqueue.create
+let try_enqueue = Wfqueue.try_enqueue
+let enqueue_exn = Wfqueue.enqueue_exn
 let register = Wfqueue.register
 let retire = Wfqueue.retire
 let domain_handle = Wfqueue.domain_handle

@@ -18,7 +18,25 @@ type t = int Wfqueue.t
 type handle = int Wfqueue.handle
 
 val create :
-  ?patience:int -> ?segment_shift:int -> ?max_garbage:int -> ?reclamation:bool -> unit -> t
+  ?patience:int ->
+  ?segment_shift:int ->
+  ?max_garbage:int ->
+  ?reclamation:bool ->
+  ?segment_cap:int ->
+  unit ->
+  t
+(** See {!Wfqueue.create}; [segment_cap] selects bounded-memory
+    mode. *)
+
+exception Would_block
+(** {!Wfqueue.Would_block} — the same exception value. *)
+
+val try_enqueue : t -> handle -> int -> bool
+(** Admission-checked enqueue for bounded queues (see
+    {!Wfqueue.try_enqueue}); always admits when unbounded. *)
+
+val enqueue_exn : t -> handle -> int -> unit
+(** {!try_enqueue} raising {!Would_block} on rejection. *)
 
 val register : t -> handle
 val retire : t -> handle -> unit

@@ -13,3 +13,5 @@
    it). *)
 
 include Wfqueue_algo.Make (Atomic_prims.Real) (Obs.Probe.Enabled) (Inject.Disabled)
+
+exception Would_block = Wfqueue_algo.Would_block

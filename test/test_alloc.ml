@@ -179,6 +179,21 @@ let test_alloc_bench_row () =
     true
     (row.Harness.Alloc_bench.words_per_op <= 0.1)
 
+let test_alloc_bounded_and_scq_zero () =
+  (* the PR 9 additions to the gate: bounded mode's cap bookkeeping
+     and the SCQ ring baseline both hold the hot-path zero *)
+  List.iter
+    (fun f ->
+      let row =
+        Harness.Alloc_bench.measure ~warmup_pairs:20_000 ~pairs:5_000 ~via_dequeue_or:true f
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s words/op %.4f <= 0.1" row.Harness.Alloc_bench.aname
+           row.Harness.Alloc_bench.words_per_op)
+        true
+        (row.Harness.Alloc_bench.words_per_op <= 0.1))
+    [ Harness.Queues.wf_bounded (); Harness.Queues.scq () ]
+
 (* ------------------------------------------------------------------ *)
 (* dequeue_or semantics and int-vs-generic equivalence                 *)
 
@@ -407,6 +422,7 @@ let () =
           Alcotest.test_case "option API pays the box" `Quick test_option_api_pays_the_box;
           Alcotest.test_case "instrumented build" `Quick test_instrumented_build_zero;
           Alcotest.test_case "alloc_bench row" `Quick test_alloc_bench_row;
+          Alcotest.test_case "bounded mode & scq" `Quick test_alloc_bounded_and_scq_zero;
         ] );
       ( "semantics",
         [

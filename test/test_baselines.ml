@@ -137,6 +137,17 @@ module Kp = Battery (struct
   let create () = Baselines.Kp_queue.create ()
 end)
 
+module Sc = Battery (struct
+  include Baselines.Scq
+
+  let name = "scq"
+
+  (* The battery's single-threaded cases stage up to tens of thousands
+     of values before draining; a bounded ring must be big enough that
+     the spinning [enqueue] never waits on an absent consumer. *)
+  let create () = Baselines.Scq.create ~order:14 ()
+end)
+
 (* ------------------------------------------------------------------ *)
 (* CRQ specifics                                                      *)
 
@@ -210,6 +221,72 @@ let test_lcrq_ring_turnover () =
   check Alcotest.(option int) "drained" None (Baselines.Lcrq.dequeue q h)
 
 (* ------------------------------------------------------------------ *)
+(* SCQ specifics                                                      *)
+
+let test_scq_bounded () =
+  let q = Baselines.Scq.create ~order:2 () in
+  let h = Baselines.Scq.register q in
+  check Alcotest.int "capacity" 4 (Baselines.Scq.capacity q);
+  for i = 1 to 4 do
+    check Alcotest.bool "accepts to capacity" true (Baselines.Scq.try_enqueue q h i)
+  done;
+  check Alcotest.bool "rejects when full" false (Baselines.Scq.try_enqueue q h 5);
+  check Alcotest.(option int) "fifo after reject" (Some 1) (Baselines.Scq.dequeue q h);
+  check Alcotest.bool "slot freed" true (Baselines.Scq.try_enqueue q h 5);
+  for i = 2 to 5 do
+    check Alcotest.(option int) "drains in order" (Some i) (Baselines.Scq.dequeue q h)
+  done;
+  check Alcotest.(option int) "empty" None (Baselines.Scq.dequeue q h)
+
+let test_scq_cycle_turnover () =
+  (* Many full wraps of both rings: cycle tags must keep stale entries
+     from masquerading as fresh ones. *)
+  let q = Baselines.Scq.create ~order:3 () in
+  let h = Baselines.Scq.register q in
+  for round = 0 to 200 do
+    for k = 0 to 5 do
+      Baselines.Scq.enqueue q h ((round * 6) + k)
+    done;
+    for k = 0 to 5 do
+      check Alcotest.(option int) "wrap fifo" (Some ((round * 6) + k))
+        (Baselines.Scq.dequeue q h)
+    done;
+    check Alcotest.(option int) "wrap empty" None (Baselines.Scq.dequeue q h)
+  done
+
+let test_scq_dequeue_or () =
+  let q = Baselines.Scq.create ~order:4 () in
+  let h = Baselines.Scq.register q in
+  check Alcotest.int "empty default" (-7) (Baselines.Scq.dequeue_or q h (-7));
+  Baselines.Scq.enqueue q h 42;
+  check Alcotest.int "value" 42 (Baselines.Scq.dequeue_or q h (-7));
+  check Alcotest.int "empty again" (-7) (Baselines.Scq.dequeue_or q h (-7))
+
+let test_scq_full_backpressure () =
+  (* Producers outnumber capacity: [enqueue] must block (spin) rather
+     than drop, and every value must come out exactly once. *)
+  let q = Baselines.Scq.create ~order:2 () in
+  let n = 2_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        let h = Baselines.Scq.register q in
+        for i = 1 to n do
+          Baselines.Scq.enqueue q h i
+        done)
+  in
+  let h = Baselines.Scq.register q in
+  let sum = ref 0 and got = ref 0 in
+  while !got < n do
+    match Baselines.Scq.dequeue q h with
+    | Some v ->
+      sum := !sum + v;
+      incr got
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  check Alcotest.int "checksum through a full ring" (n * (n + 1) / 2) !sum
+
+(* ------------------------------------------------------------------ *)
 (* FAA microbenchmark facade                                          *)
 
 let test_faa_counts () =
@@ -246,6 +323,14 @@ let () =
       Lc.suite;
       Cc.suite;
       Kp.suite;
+      Sc.suite;
+      ( "scq-ring",
+        [
+          Alcotest.test_case "bounded try_enqueue" `Quick test_scq_bounded;
+          Alcotest.test_case "cycle turnover" `Quick test_scq_cycle_turnover;
+          Alcotest.test_case "dequeue_or" `Quick test_scq_dequeue_or;
+          Alcotest.test_case "full-ring backpressure" `Quick test_scq_full_backpressure;
+        ] );
       ( "crq",
         [
           Alcotest.test_case "basic" `Quick test_crq_basic;

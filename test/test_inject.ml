@@ -350,6 +350,197 @@ let test_batch_kill_storm () =
   if !total_kills = 0 then
     Alcotest.fail "no batch kill ever fired across 300 seeds: lethal batch plans are dead code?"
 
+(* ------------------------------------------------------------------ *)
+(* Bounded-mode freelist storms (PR 9): the two [Pool]-class windows.
+
+   [Seg_pool_acquire] only fires under genuine cap pressure (budget
+   spent, pool empty, the acquire polling for a recycle), so these
+   storms run a {e bounded} queue with producers outrunning consumers
+   instead of joining the generic unbounded park-storm sweep.  Two
+   invariants, from the injection points' contracts:
+
+   - the segment cap is never exceeded: fresh allocations are
+     budget-gated and the budget is never replenished by recycling,
+     so [allocated_segments <= cap] at {e every} instant — which
+     implies live + pooled <= cap always (each existing segment was
+     allocated exactly once);
+   - no segment is reachable from two chains: a double release would
+     surface as a duplicated value once both "copies" recycle, and as
+     a pool whose walked length disagrees with its counter.  A death
+     at [Seg_pool_release] may leak capacity (segments reset but
+     never pushed) — documented as lost budget, never unsafety. *)
+
+(* 2-of-4 parked in the freelist windows: pure delay, so conservation
+   must be exact and the cap invariant untouched. *)
+let test_pool_park_storm () =
+  sim_park ();
+  Inject.reset_stats ();
+  let cap = 6 in
+  let points = [ Inject.Seg_pool_acquire; Inject.Seg_pool_release ] in
+  for seed = 1 to 300 do
+    let plan =
+      Inject.Plan.make ~park:6 ~arm_window:1 ~points ~seed:(Int64.of_int (seed * 433)) ()
+    in
+    Inject.with_controller
+      (fun p -> if Sim.current_fiber () <= 1 then Inject.Plan.decide plan p else Inject.Continue)
+      (fun () ->
+        let q = Q.create ~patience:0 ~segment_shift:1 ~max_garbage:2 ~segment_cap:cap () in
+        let h = Array.init 4 (fun _ -> Q.register q) in
+        let got = ref [] in
+        let producers_done = ref 0 in
+        (* 12 values through 6 segments' worth of cells keeps the
+           budget exhausted: the park-prone producers really reach the
+           acquire poll *)
+        let producer i () =
+          for k = 1 to 6 do
+            Q.enqueue q h.(i) ((i * 10) + k);
+            if Q.allocated_segments q > cap then
+              Alcotest.failf "seed %d: %d segments allocated past cap %d" seed
+                (Q.allocated_segments q) cap
+          done;
+          (* a dequeue tail walks the park-prone fibers through
+             cleanup's release loop too *)
+          for _ = 1 to 3 do
+            match Q.dequeue q h.(i) with Some v -> got := v :: !got | None -> ()
+          done;
+          incr producers_done
+        in
+        let consumer i () =
+          let idle = ref 0 in
+          while !producers_done < 2 || !idle < 3 do
+            match Q.dequeue q h.(i) with
+            | Some v ->
+              got := v :: !got;
+              idle := 0
+            | None -> incr idle
+          done
+        in
+        ignore (run_ok ~seed [| producer 0; producer 1; consumer 2; consumer 3 |]);
+        let all = List.sort compare (!got @ drain q h.(2)) in
+        let expect =
+          List.sort compare (List.concat_map (fun i -> List.init 6 (fun k -> (i * 10) + k + 1)) [ 0; 1 ])
+        in
+        if all <> expect then
+          Alcotest.failf "seed %d: conservation broken under pool parks" seed;
+        if Q.live_segments q + Q.pooled_segments q > cap then
+          Alcotest.failf "seed %d: live+pooled %d+%d exceeds cap %d" seed (Q.live_segments q)
+            (Q.pooled_segments q) cap;
+        if Q.Internal.pool_length q <> Q.pooled_segments q then
+          Alcotest.failf "seed %d: pool length %d disagrees with counter %d" seed
+            (Q.Internal.pool_length q) (Q.pooled_segments q))
+  done;
+  let parks p = (Inject.stats p).Inject.parks in
+  if parks Inject.Seg_pool_acquire = 0 then
+    Alcotest.fail "no park at Seg_pool_acquire across 300 seeds: no cap pressure reached?";
+  if parks Inject.Seg_pool_release = 0 then
+    Alcotest.fail "no park at Seg_pool_release across 300 seeds: cleanup never released?"
+
+(* Deaths in the freelist windows: a kill strands at most the
+   victim's one in-flight value, never duplicates, and the cap holds
+   even when a crashed cleaner leaks its reset-but-unpushed
+   segments. *)
+let test_pool_kill_storm () =
+  sim_park ();
+  let cap = 8 in
+  let acquire_kills = ref 0 in
+  let release_kills = ref 0 in
+  for seed = 1 to 400 do
+    Inject.reset_stats ();
+    let plan =
+      Inject.Plan.make ~lethal:true ~arm_window:1
+        ~points:[ Inject.Seg_pool_acquire; Inject.Seg_pool_release ]
+        ~seed:(Int64.of_int ((seed * 131) + 7))
+        ()
+    in
+    Inject.with_controller
+      (fun p -> if Sim.current_fiber () = 0 then Inject.Plan.decide plan p else Inject.Continue)
+      (fun () ->
+        let q = Q.create ~patience:0 ~segment_shift:1 ~max_garbage:2 ~segment_cap:cap () in
+        let h = Array.init 4 (fun _ -> Q.register q) in
+        let got = ref [] in
+        let producers_done = ref 0 in
+        let venq = ref 0 in
+        let enq_count = ref 0 in
+        (* the victim enqueues first (arming the admission wait where
+           the acquire point now fires) and then dequeues a tail
+           (walking it through cleanup's release loop) *)
+        let victim () =
+          (try
+             for k = 1 to 6 do
+               Q.enqueue q h.(0) k;
+               venq := k;
+               incr enq_count
+             done;
+             for _ = 1 to 3 do
+               match Q.dequeue q h.(0) with Some v -> got := v :: !got | None -> ()
+             done
+           with Inject.Killed _ -> Q.retire q h.(0));
+          incr producers_done
+        in
+        let producer () =
+          for k = 1 to 6 do
+            Q.enqueue q h.(1) (10 + k);
+            incr enq_count;
+            if Q.allocated_segments q > cap then
+              Alcotest.failf "seed %d: %d segments allocated past cap %d" seed
+                (Q.allocated_segments q) cap
+          done;
+          incr producers_done
+        in
+        let consumer i () =
+          (* sleep through the fill so the admission line actually
+             backs up: a producer can only block once 8 net enqueues
+             are in ([enq_capacity] for this cap), at which point the
+             wake condition below has already released the drain *)
+          while !enq_count < 8 && !producers_done < 2 do
+            Sim.yield ()
+          done;
+          let idle = ref 0 in
+          while !producers_done < 2 || !idle < 3 do
+            match Q.dequeue q h.(i) with
+            | Some v ->
+              got := v :: !got;
+              idle := 0
+            | None -> incr idle
+          done
+        in
+        ignore (run_ok ~seed [| victim; producer; consumer 2; consumer 3 |]);
+        acquire_kills := !acquire_kills + (Inject.stats Inject.Seg_pool_acquire).Inject.kills;
+        release_kills := !release_kills + (Inject.stats Inject.Seg_pool_release).Inject.kills;
+        let kills = (Inject.total_stats ()).Inject.kills in
+        let all = !got @ drain q h.(2) in
+        let sorted = List.sort compare all in
+        let rec no_dup = function
+          | a :: (b :: _ as tl) ->
+            if a = b then Alcotest.failf "seed %d: value %d dequeued twice" seed a;
+            no_dup tl
+          | _ -> ()
+        in
+        no_dup sorted;
+        let definite = List.init !venq (fun k -> k + 1) @ List.init 6 (fun k -> 10 + k + 1) in
+        let optional = if !venq < 6 then [ !venq + 1 ] else [] in
+        List.iter
+          (fun v ->
+            if not (List.mem v definite || List.mem v optional) then
+              Alcotest.failf "seed %d: alien value %d" seed v)
+          sorted;
+        let missing =
+          List.length (List.filter (fun v -> not (List.mem v sorted)) definite)
+        in
+        if missing > kills then
+          Alcotest.failf "seed %d: %d values missing but only %d kills" seed missing kills;
+        if Q.live_segments q + Q.pooled_segments q > cap then
+          Alcotest.failf "seed %d: live+pooled %d+%d exceeds cap %d" seed (Q.live_segments q)
+            (Q.pooled_segments q) cap;
+        if Q.pooled_segments q > Q.Internal.pool_limit q then
+          Alcotest.failf "seed %d: pool counter %d past its limit %d" seed
+            (Q.pooled_segments q) (Q.Internal.pool_limit q))
+  done;
+  if !acquire_kills = 0 then
+    Alcotest.fail "no kill at Seg_pool_acquire across 400 seeds: storm is dead code?";
+  if !release_kills = 0 then
+    Alcotest.fail "no kill at Seg_pool_release across 400 seeds: storm is dead code?"
+
 (* A dead slow-path enqueuer's published request is completed by
    helpers: the value it announced still flows to a dequeuer. *)
 let test_helping_completes_dead_enqueuer () =
@@ -987,11 +1178,16 @@ let () =
               (Printf.sprintf "2-of-4 parked at %s points" (Inject.class_name cls))
               `Quick (test_park_storm cls))
           [ Inject.Enqueue; Inject.Dequeue; Inject.Helping; Inject.Cleanup; Inject.Hazard ]
-        @ [ Alcotest.test_case "2-of-4 parked at batch points" `Quick test_batch_park_storm ] );
+        @ [
+            Alcotest.test_case "2-of-4 parked at batch points" `Quick test_batch_park_storm;
+            Alcotest.test_case "2-of-4 parked in bounded freelist windows" `Quick
+              test_pool_park_storm;
+          ] );
       ( "kill-storms",
         [
           Alcotest.test_case "crashes strand <=1 value, never duplicate" `Quick test_kill_storm;
           Alcotest.test_case "batch crashes strand <= batch values" `Quick test_batch_kill_storm;
+          Alcotest.test_case "freelist crashes keep the segment cap" `Quick test_pool_kill_storm;
           Alcotest.test_case "helpers complete a dead enqueuer's request" `Quick
             test_helping_completes_dead_enqueuer;
           Alcotest.test_case "dead dequeuer strands at most one value" `Quick

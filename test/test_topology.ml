@@ -665,6 +665,128 @@ let test_adaptive_router_concurrent () =
     (List.init (threads * ops) Fun.id)
     sorted
 
+(* ------------------------------------------------------------------ *)
+(* Regression (PR 9): the Segs release path under double release      *)
+
+(* The scenario behind the [pool_push] CAS-claim: a drainer killed in
+   the [Topo_switch_draining] window after handing its detached
+   segment to the pool, whose segment the switch epilogue then
+   releases again.  With a blind [Recycled] store the second push
+   inserts the segment into the pool twice and two acquirers each get
+   it — one physical segment spliced into two chains.  The claim makes
+   the second releaser find [Recycled] already in place and back off.
+   Pin it directly on [Segs] over the deterministic scheduler: two
+   releaser fibers race full double releases of the same detached
+   segments; afterwards every pool entry must be physically distinct
+   and no segment may be pooled twice. *)
+
+let test_segs_double_release_explore () =
+  let module Segs = Topology.Segs.Make (Sim.Atomic_shim) in
+  for seed = 1 to 300 do
+    let t = Segs.make ~size:2 ~pool_limit:16 ~pool_enabled:true in
+    (* detached segments, exactly as a drainer holds them between the
+       unlink and the push *)
+    let segs = Array.init 3 (fun i -> Segs.alloc_seg ~size:2 ~base:(16 * (i + 1))) in
+    let releaser () = Array.iter (fun s -> Segs.pool_push t s) segs in
+    ignore (run_ok ~seed [| releaser; releaser |]);
+    let rec drain acc =
+      match Segs.pool_pop t with Some s -> drain (s :: acc) | None -> acc
+    in
+    let pooled = drain [] in
+    let rec dup_phys = function
+      | [] -> false
+      | s :: tl -> List.exists (fun s' -> s' == s) tl || dup_phys tl
+    in
+    if dup_phys pooled then
+      Alcotest.failf "seed %d: a double-released segment entered the pool twice" seed;
+    if List.length pooled > Array.length segs then
+      Alcotest.failf "seed %d: pool grew past the released set (%d > %d)" seed
+        (List.length pooled) (Array.length segs);
+    (* a released-then-acquired segment is re-based for its new chain
+       slot; a second acquire must never return the same block *)
+    let a1 = Segs.acquire t ~base:1000 in
+    let a2 = Segs.acquire t ~base:1002 in
+    if a1 == a2 then Alcotest.failf "seed %d: one segment handed to two chains" seed
+  done
+
+(* The same invariant end-to-end: kill the switcher inside the
+   [Topo_switch_draining] window (token held, old backend about to be
+   drained into the new one) and check that the retry path conserves
+   every committed value exactly once — a double-released segment
+   would surface here as a duplicated or vanished value when its block
+   lands in two chains. *)
+let test_adaptive_switch_kill_storm () =
+  let total_kills = ref 0 in
+  for seed = 1 to 300 do
+    Inject.reset_stats ();
+    let plan =
+      Inject.Plan.make ~lethal:true ~arm_window:1
+        ~points:[ Inject.Topo_switch_draining ]
+        ~seed:(Int64.of_int ((seed * 6151) + 3))
+        ()
+    in
+    Inject.with_controller
+      (fun p ->
+        if Sim.current_fiber () = 0 then Inject.Plan.decide plan p else Inject.Continue)
+      (fun () ->
+        let module Q = Sim.Adaptive_queue in
+        let q = Q.create ~patience:2 ~segment_shift:1 ~max_garbage:2 () in
+        let h = Array.init 3 (fun _ -> Q.register q) in
+        let committed = ref [] in
+        let got = ref [] in
+        (* fiber 0 is the second producer: its first enqueue forces
+           the spsc->mpsc switch, so it is usually the switcher the
+           plan kills mid-drain *)
+        let victim () =
+          try
+            for i = 1 to 5 do
+              Q.enqueue q h.(0) (100 + i);
+              committed := (100 + i) :: !committed
+            done
+          with Inject.Killed _ -> ()
+        in
+        let producer () =
+          for i = 1 to 5 do
+            Q.enqueue q h.(1) i;
+            committed := i :: !committed
+          done
+        in
+        let consumer () =
+          for _ = 1 to 10 do
+            match Q.dequeue q h.(2) with Some v -> got := v :: !got | None -> ()
+          done
+        in
+        ignore (run_ok ~seed [| victim; producer; consumer |]);
+        total_kills := !total_kills + (Inject.stats Inject.Topo_switch_draining).Inject.kills;
+        let rec drain acc =
+          match Q.dequeue q h.(2) with Some v -> drain (v :: acc) | None -> acc
+        in
+        let all = List.sort compare (!got @ drain []) in
+        let rec dups = function
+          | a :: (b :: _ as tl) -> if a = b then Some a else dups tl
+          | _ -> None
+        in
+        (match dups all with
+        | Some v ->
+          Alcotest.failf "seed %d: value %d dequeued twice after a mid-drain kill" seed v
+        | None -> ());
+        (* every committed value exactly once; the kill may strand at
+           most the victim's single in-flight value *)
+        List.iter
+          (fun v ->
+            if not (List.mem v all) then
+              Alcotest.failf "seed %d: committed value %d lost across the killed switch"
+                seed v)
+          !committed;
+        List.iter
+          (fun v ->
+            if not (List.mem v !committed) && not (v > 100 && v <= 105) then
+              Alcotest.failf "seed %d: alien value %d surfaced" seed v)
+          all)
+  done;
+  if !total_kills = 0 then
+    Alcotest.fail "no Topo_switch_draining kill fired across 300 seeds — storm is dead code"
+
 let () =
   Alcotest.run "topology"
     [
@@ -695,6 +817,10 @@ let () =
           Alcotest.test_case "mid-stream degrade sweep (conservation+order)" `Quick
             test_adaptive_degrade_sweep;
           Alcotest.test_case "dual-axis degrade sweep" `Quick test_adaptive_full_degrade_sweep;
+          Alcotest.test_case "segs double-release exploration" `Quick
+            test_segs_double_release_explore;
+          Alcotest.test_case "mid-drain kill storm (conservation)" `Quick
+            test_adaptive_switch_kill_storm;
           Alcotest.test_case "post-switch systematic exploration" `Quick
             test_adaptive_post_switch_explore;
         ] );
