@@ -252,6 +252,13 @@ let () =
   let topology_rows = Harness.Topology_bench.default_rows ~quick:cli.smoke () in
   Format.printf "%a@?" Harness.Topology_bench.pp_rows topology_rows;
 
+  (* Task-scheduler throughput: fan-out/fan-in over the work-stealing
+     deques against the flat all-through-the-injector control, on the
+     production build (probes and injection compiled out) *)
+  print_endline "\n== Task scheduler (fan-out/fan-in vs flat submission) ==";
+  let sched_rows = Harness.Sched_bench.default_rows ~quick:cli.smoke () in
+  Format.printf "%a@?" Harness.Sched_bench.pp_rows sched_rows;
+
   (* Wait-freedom telemetry: the instrumented build's fast/slow-path
      breakdown across patience values (the regression gate reads the
      patience-10 row's slow-path rate from the JSON) *)
@@ -285,6 +292,7 @@ let () =
           ("false_sharing", json_of_false_sharing fs_results);
           ("alloc_per_op", Harness.Alloc_bench.rows_to_json alloc_rows);
           ("topology_mops", Harness.Topology_bench.rows_to_json topology_rows);
+          ("sched_tasks", Harness.Sched_bench.rows_to_json sched_rows);
           ("telemetry", Harness.Telemetry.table_to_json telemetry_rows);
         ]
     in

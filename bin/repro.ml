@@ -1,13 +1,22 @@
 (* Command-line driver regenerating every table and figure of the
-   paper's evaluation (see DESIGN.md §4 for the experiment index).
+   paper's evaluation (see DESIGN.md §4 for the experiment index),
+   plus the live storm drivers for the subsystems built on the queue.
 
      repro table1                    platform inventory
      repro fig2 --benchmark pairs    Figure 2 throughput sweep
      repro table2                    WF-0 execution-path breakdown
      repro ablation-*                design-choice ablations
+     repro latency                   per-operation latency tails
+     repro stats                     fast/slow-path telemetry
+     repro inject                    fault-injection storm on the queue
+     repro shard                     sharded-router batch storm
+     repro bounded                   bounded-memory spike storm
+     repro topology                  specialized-variant role storms
+     repro sched                     task-scheduler fan-out/fan-in storm
+     repro list | repro all          enumerate queues / run everything
 
    All benchmarks print fixed-width tables; --csv PATH additionally
-   saves the rows. *)
+   saves the rows.  An unknown subcommand exits with status 2. *)
 
 open Cmdliner
 
@@ -1009,6 +1018,152 @@ let topology_cmd =
           & flag
           & info [ "kill" ] ~doc:"Arm Die: victim domains crash mid-protocol."))
 
+(* Fan-out/fan-in storm on the effects-based task scheduler
+   (probe+inject build): R root tasks each spawn K subtasks and await
+   them all, while — under --park / --kill — the worker domains stall
+   or die at seed-chosen protocol points, the scheduler's own windows
+   (steal claim, park, promise-resolve commit) included.  The driver
+   then audits the scheduler's headline guarantee: after [shutdown],
+   {e every} promise is resolved — a completed root carries the exact
+   fan-in sum, an aborted or death-resolved root carries an error, and
+   none is left pending.  Any stranded promise (or wrong sum) exits 1
+   with the replay seed. *)
+let sched_cmd =
+  let module S = Sched.Scheduler_inject in
+  let run workers tasks subtasks seed park kill cap =
+    if workers < 1 || tasks < 1 || subtasks < 0 then begin
+      prerr_endline "repro sched: need --workers >= 1, --tasks >= 1, --subtasks >= 0";
+      exit 2
+    end;
+    let plan = Inject.Plan.make ~park ~lethal:kill ~seed:(Int64.of_int seed) () in
+    Inject.reset_stats ();
+    Inject.set_park (fun n -> Unix.sleepf (float_of_int n *. 1e-6));
+    let faults = kill || park > 0 in
+    (* victims are the worker domains: the driver (and its blocking
+       submits) stays shielded so the storm tests the scheduler's
+       recovery, not the driver's *)
+    let driver = Domain.self () in
+    if faults then
+      Inject.install (fun p ->
+          if Domain.self () = driver then Inject.Continue else Inject.Plan.decide plan p);
+    Printf.printf
+      "Scheduler storm: %d workers, %d roots x %d subtasks%s\n  plan: %s\n%!"
+      workers tasks subtasks
+      (match cap with
+      | Some c -> Printf.sprintf ", injector capped at %d segments" c
+      | None -> "")
+      (if faults then Inject.Plan.describe plan else "none (clean throughput run)");
+    let sched = S.create ~workers ?injector_cap:cap () in
+    let t0 = Primitives.Clock.now_ns () in
+    let roots =
+      Array.init tasks (fun i ->
+          S.async sched (fun () ->
+              let kids =
+                List.init subtasks (fun j -> S.async sched (fun () -> i + j))
+              in
+              List.fold_left (fun acc k -> acc + S.Promise.await k) 0 kids))
+    in
+    if kill then begin
+      (* lethal mode: workers may die mid-protocol, so settle briefly
+         and let shutdown's sweep + promise backstop finish the job
+         rather than blocking on results that may need the backstop *)
+      let deadline = Int64.add t0 2_000_000_000L in
+      let rec settle () =
+        if
+          Array.exists (fun p -> not (S.Promise.is_resolved p)) roots
+          && Primitives.Clock.now_ns () < deadline
+        then begin
+          Unix.sleepf 0.001;
+          settle ()
+        end
+      in
+      settle ()
+    end
+    else Array.iter (fun p -> ignore (S.Promise.result p)) roots;
+    S.shutdown sched;
+    let elapsed_s = Int64.to_float (Int64.sub (Primitives.Clock.now_ns ()) t0) /. 1e9 in
+    if faults then Inject.remove ();
+    let expected i = (subtasks * i) + (subtasks * (subtasks - 1) / 2) in
+    let stranded = ref 0 and completed = ref 0 and errored = ref 0 and wrong = ref 0 in
+    Array.iteri
+      (fun i p ->
+        match S.Promise.poll p with
+        | None ->
+          incr stranded;
+          if !stranded <= 5 then Printf.printf "  STRANDED: root %d still pending\n" i
+        | Some (Ok s) ->
+          if s = expected i then incr completed
+          else begin
+            incr wrong;
+            if !wrong <= 5 then
+              Printf.printf "  WRONG SUM: root %d got %d, expected %d\n" i s (expected i)
+          end
+        | Some (Error _) -> incr errored)
+      roots;
+    let total = tasks * (1 + subtasks) in
+    Printf.printf "\n  %d roots: %d completed, %d errored, %d wrong, %d stranded\n" tasks
+      !completed !errored !wrong !stranded;
+    Printf.printf "  %d tasks through the scheduler in %.3fs (%.3f Mtasks/s)\n" total elapsed_s
+      (float_of_int total /. elapsed_s /. 1e6);
+    List.iter
+      (fun (o : S.pool_obs) ->
+        Printf.printf
+          "  pool %-8s %d workers (%d live, %d died)  %d spawned, %d completed, %d aborted, %d \
+           exceptions, %d steals\n"
+          o.S.name o.workers o.live_workers o.worker_deaths o.tasks_spawned o.tasks_completed
+          o.aborted_promises o.task_exceptions o.steals)
+      (S.obs sched);
+    if faults then Format.printf "@.Injected faults:@.%a" Inject.pp_stats ();
+    if !stranded > 0 || !wrong > 0 then begin
+      Printf.printf
+        "\nFAIL: %d stranded promise(s), %d wrong sum(s) — replay with --seed %d\n"
+        !stranded !wrong seed;
+      exit 1
+    end
+    else if (not kill) && !errored > 0 then begin
+      Printf.printf "\nFAIL: %d root(s) errored without --kill — replay with --seed %d\n"
+        !errored seed;
+      exit 1
+    end
+    else
+      Printf.printf
+        "\nOK: every promise resolved%s.\n"
+        (if kill then " (worker deaths absorbed, nothing stranded)" else ", all sums exact")
+  in
+  Cmd.v
+    (Cmd.info "sched"
+       ~doc:
+         "Task-scheduler fan-out/fan-in storm: root tasks spawning and awaiting subtasks over \
+          the wait-free injector and work-stealing deques, with optional fault injection at the \
+          scheduler's own protocol points; verifies that no promise is stranded")
+    Term.(
+      const run
+      $ Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc:"Worker domains.")
+      $ Arg.(value & opt int 10_000 & info [ "tasks" ] ~docv:"R" ~doc:"Root tasks.")
+      $ Arg.(
+          value & opt int 4 & info [ "subtasks" ] ~docv:"K" ~doc:"Subtasks spawned per root.")
+      $ Arg.(
+          value
+          & opt int 42
+          & info [ "seed" ] ~docv:"SEED" ~doc:"Fault-plan seed; a failure replays from it.")
+      $ Arg.(
+          value
+          & opt int 0
+          & info [ "park" ] ~docv:"UNITS"
+              ~doc:"Stall length in park units (one unit is 1us; 0 disables parking).")
+      $ Arg.(
+          value
+          & flag
+          & info [ "kill" ]
+              ~doc:
+                "Arm Die: workers crash at seed-chosen points (the scheduler's steal, park and \
+                 resolve windows included); the audit still requires zero stranded promises.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "cap" ] ~docv:"SEGMENTS"
+              ~doc:"Bound the injector at $(docv) segments (backpressure mode)."))
+
 let list_cmd =
   let run () =
     List.iter
@@ -1037,10 +1192,16 @@ let all_cmd =
 let () =
   let info =
     Cmd.info "repro" ~version:"1.0.0"
-      ~doc:"Reproduce the evaluation of 'A Wait-free Queue as Fast as Fetch-and-Add' (PPoPP'16)"
+      ~doc:
+        "Reproduce the evaluation of 'A Wait-free Queue as Fast as Fetch-and-Add' (PPoPP'16): \
+         tables, figures and ablations, plus live storm drivers (inject, shard, bounded, \
+         topology, sched) for the subsystems built on the queue"
   in
-  exit
-    (Cmd.eval
+  (* Cmdliner signals CLI parse errors — unknown subcommand included —
+     with its own exit 124; scripts expect the conventional usage
+     status, so fold it to 2. *)
+  let code =
+    Cmd.eval
        (Cmd.group info
           [
             table1_cmd;
@@ -1056,6 +1217,9 @@ let () =
             shard_cmd;
             bounded_cmd;
             topology_cmd;
+            sched_cmd;
             list_cmd;
             all_cmd;
-          ]))
+          ])
+  in
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -17,8 +17,11 @@ type point =
   | Topo_switch_draining
   | Seg_pool_acquire
   | Seg_pool_release
+  | Sched_steal_pending
+  | Sched_park_pending
+  | Sched_resolve_pending
 
-type cls = Enqueue | Dequeue | Batch | Helping | Cleanup | Hazard | Topology | Pool
+type cls = Enqueue | Dequeue | Batch | Helping | Cleanup | Hazard | Topology | Pool | Sched
 
 (* New points append at the end of [all_points]: [Plan.make] draws its
    per-point ordinals in this order, so appending keeps the arming of
@@ -42,6 +45,9 @@ let all_points =
     Topo_switch_draining;
     Seg_pool_acquire;
     Seg_pool_release;
+    Sched_steal_pending;
+    Sched_park_pending;
+    Sched_resolve_pending;
   ]
 
 let index = function
@@ -61,6 +67,9 @@ let index = function
   | Topo_switch_draining -> 13
   | Seg_pool_acquire -> 14
   | Seg_pool_release -> 15
+  | Sched_steal_pending -> 16
+  | Sched_park_pending -> 17
+  | Sched_resolve_pending -> 18
 
 let n_points = List.length all_points
 
@@ -73,6 +82,7 @@ let class_of = function
   | Hazard_published -> Hazard
   | Topo_enq_pending | Topo_deq_pending | Topo_switch_draining -> Topology
   | Seg_pool_acquire | Seg_pool_release -> Pool
+  | Sched_steal_pending | Sched_park_pending | Sched_resolve_pending -> Sched
 
 let point_name = function
   | Enq_fast_after_faa -> "enq_fast_after_faa"
@@ -91,6 +101,9 @@ let point_name = function
   | Topo_switch_draining -> "topo_switch_draining"
   | Seg_pool_acquire -> "seg_pool_acquire"
   | Seg_pool_release -> "seg_pool_release"
+  | Sched_steal_pending -> "sched_steal_pending"
+  | Sched_park_pending -> "sched_park_pending"
+  | Sched_resolve_pending -> "sched_resolve_pending"
 
 let class_name = function
   | Enqueue -> "enqueue"
@@ -101,6 +114,7 @@ let class_name = function
   | Hazard -> "hazard"
   | Topology -> "topology"
   | Pool -> "pool"
+  | Sched -> "sched"
 
 let points_of_class c = List.filter (fun p -> class_of p = c) all_points
 

@@ -88,7 +88,27 @@
       reset it but has not yet pushed it to the freelist — dying here
       leaks that segment's capacity (documented: a crashed cleaner
       costs cap slots, never safety), and must not let the segment
-      become reachable from two chains. *)
+      become reachable from two chains.
+
+    The [Sched] class covers the effects-based task scheduler
+    (DESIGN.md §12):
+
+    - [Sched_steal_pending]: a thief read a deque's top index and the
+      task stored there but has not yet CASed top — the Chase–Lev
+      claim window.  Dying here must leave the task claimable by the
+      owner or another thief (the CAS never happened, so nothing is
+      taken); parking here must not let a concurrent owner pop hand
+      out the same task twice.
+    - [Sched_park_pending]: a worker found its deque, the injector and
+      every peer deque empty and is about to park — dying here is the
+      canonical worker-death window: anything pushed to its deque
+      before death must remain stealable, and the pool must keep
+      resolving promises with one fewer worker.
+    - [Sched_resolve_pending]: a fiber computed a promise's result but
+      has not yet CASed the state to [Done] — dying here must leave
+      the promise pending and resolvable by the recovery path (the
+      worker-death handler resolves it with the death exception), and
+      the exactly-once guarantee must survive the retry. *)
 type point =
   | Enq_fast_after_faa
   | Enq_slow_published
@@ -106,8 +126,11 @@ type point =
   | Topo_switch_draining
   | Seg_pool_acquire
   | Seg_pool_release
+  | Sched_steal_pending
+  | Sched_park_pending
+  | Sched_resolve_pending
 
-type cls = Enqueue | Dequeue | Batch | Helping | Cleanup | Hazard | Topology | Pool
+type cls = Enqueue | Dequeue | Batch | Helping | Cleanup | Hazard | Topology | Pool | Sched
 
 val all_points : point list
 val class_of : point -> cls

@@ -1,32 +1,26 @@
-(* A fixed-size worker pool over the wait-free run queue.  The
-   admission/shutdown/drain decisions live in [Pool_protocol] (also
-   instantiated on the simsched shim by the test suite); this module
-   adds the OS pieces: futures (Mutex/Condition), worker domains,
-   handle lifecycle, and the fault-isolation guards. *)
+(* A fixed-size worker pool, since PR 10 a thin shim over the
+   effects-based scheduler ([Sched.Scheduler]): [create] builds a
+   single-pool scheduler, futures {e are} scheduler promises, and
+   submit/await/shutdown delegate.  The Mutex/Condition future, the
+   worker loop and the duplicated wait/abort logic that used to live
+   here are gone — the scheduler's claim-once tickets and post-join
+   sweep provide the same all-futures-resolve guarantee (DESIGN.md
+   §12), and the admission/shutdown protocol both subsystems share
+   still lives in [Pool.Protocol] (= [Sched.Sched_protocol]) for the
+   simsched exploration in test/test_pool.ml.
+
+   One behavioral upgrade rides along: [await] inside a pool task no
+   longer risks deadlocking the worker — on a fiber it suspends the
+   fiber and the worker moves on (the old pool documented that hazard
+   instead of fixing it). *)
 
 module Protocol = Pool_protocol
 
-exception Shutdown
-exception Worker_abort
+exception Shutdown = Sched.Scheduler.Shutdown
+exception Worker_abort = Sched.Scheduler.Abort_worker
 
-type 'a state = Pending | Resolved of ('a, exn) result
-
-type 'a future = {
-  mutex : Mutex.t;
-  cond : Condition.t;
-  mutable state : 'a state;
-}
-
-module P =
-  Pool_protocol.Make
-    (Wfq.Atomic_prims.Real)
-    (struct
-      type 'a t = 'a Wfq.Wfqueue.t
-      type 'a handle = 'a Wfq.Wfqueue.handle
-
-      let enqueue = Wfq.Wfqueue.enqueue
-      let dequeue = Wfq.Wfqueue.dequeue
-    end)
+type 'a future = 'a Sched.Scheduler.Promise.t
+type t = Sched.Scheduler.t
 
 type obs = {
   workers : int;
@@ -37,165 +31,32 @@ type obs = {
   aborted_futures : int;
 }
 
-type t = {
-  proto : P.t;
-  run_queue : P.ticket Wfq.Wfqueue.t;
-  mutable workers : unit Domain.t list; (* set once, right after create *)
-  worker_count : int;
-  shutdown_started : bool Atomic.t;
-  shutdown_done : bool Atomic.t;
-  (* Monitoring counters, each on its own cache line so a dying worker
-     and a hot completion path do not false-share. *)
-  live : int Atomic.t;
-  deaths : int Atomic.t;
-  exceptions : int Atomic.t;
-  completed : int Atomic.t;
-  aborted : int Atomic.t;
-}
-
-let resolve future result =
-  Mutex.lock future.mutex;
-  future.state <- Resolved result;
-  Condition.broadcast future.cond;
-  Mutex.unlock future.mutex
-
-let worker_loop pool () =
-  let handle = Wfq.Wfqueue.register pool.run_queue in
-  (* Release the queue handle on every exit path — normal drain-out,
-     deliberate abort, or an escaped exception — so a dead worker
-     never pins segment reclamation.  ([Domain.at_exit] would cover
-     the implicit push/pop handles, but this worker registered
-     explicitly; explicit release also retires at the exit point
-     rather than at domain teardown.) *)
-  Fun.protect ~finally:(fun () ->
-      Wfq.Wfqueue.retire pool.run_queue handle;
-      ignore (Atomic.fetch_and_add pool.live (-1)))
-  @@ fun () ->
-  let step () =
-    (* Fault isolation: a ticket whose [run] lets an exception escape
-       (raw closures; [submit]'s wrapper catches everything else) must
-       not silently shrink the pool.  [Worker_abort] is the one
-       deliberate exception: it kills this worker, visibly
-       ([worker_deaths] in the obs snapshot). *)
-    try
-      match P.worker_step pool.proto handle with
-      | P.Ran | P.Stale -> `Ran
-      | P.Exit -> `Exit
-      | P.Idle -> `Idle
-    with
-    | Worker_abort -> `Died
-    | _exn ->
-      ignore (Atomic.fetch_and_add pool.exceptions 1);
-      `Ran
-  in
-  let rec loop idle_spins =
-    match step () with
-    | `Ran -> loop 0
-    | `Exit -> ()
-    | `Died -> ignore (Atomic.fetch_and_add pool.deaths 1)
-    | `Idle ->
-      (* between spinning and napping: submissions are bursty and
-         the host may be oversubscribed *)
-      if idle_spins < 64 then Domain.cpu_relax () else Unix.sleepf 0.000_2;
-      loop (idle_spins + 1)
-  in
-  loop 0
-
 let create ?workers () =
-  let default = max 1 (Domain.recommended_domain_count () - 1) in
-  let n = match workers with Some n -> n | None -> default in
-  if n < 1 then invalid_arg "Pool.create: need at least one worker";
-  let run_queue = Wfq.Wfqueue.create () in
-  let pool =
-    {
-      proto = P.create run_queue;
-      run_queue;
-      workers = [];
-      worker_count = n;
-      shutdown_started = Atomic.make false;
-      shutdown_done = Atomic.make false;
-      live = Primitives.Padding.make_padded_atomic n;
-      deaths = Primitives.Padding.make_padded_atomic 0;
-      exceptions = Primitives.Padding.make_padded_atomic 0;
-      completed = Primitives.Padding.make_padded_atomic 0;
-      aborted = Primitives.Padding.make_padded_atomic 0;
-    }
-  in
-  pool.workers <- List.init n (fun _ -> Domain.spawn (worker_loop pool));
-  pool
+  (match workers with
+  | Some n when n < 1 -> invalid_arg "Pool.create: need at least one worker"
+  | _ -> ());
+  Sched.Scheduler.create ?workers ()
 
 let submit pool f =
-  let future = { mutex = Mutex.create (); cond = Condition.create (); state = Pending } in
-  let run () =
-    (* [Worker_abort] resolves the future, then still kills the worker
-       that ran it — the documented fault-drill channel. *)
-    let result =
-      try Ok (f ())
-      with
-      | Worker_abort ->
-        resolve future (Error Worker_abort);
-        raise Worker_abort
-      | exn -> Error exn
-    in
-    resolve future result;
-    ignore (Atomic.fetch_and_add pool.completed 1)
-  in
-  let abort () =
-    resolve future (Error Shutdown);
-    ignore (Atomic.fetch_and_add pool.aborted 1)
-  in
-  let h = Wfq.Wfqueue.domain_handle pool.run_queue in
-  match P.submit pool.proto h ~run ~abort with
-  | P.Rejected -> invalid_arg "Pool.submit: pool is shut down"
-  | P.Accepted | P.Aborted -> future
+  try Sched.Scheduler.async pool f
+  with Invalid_argument _ -> invalid_arg "Pool.submit: pool is shut down"
 
-let await future =
-  Mutex.lock future.mutex;
-  let rec wait () =
-    match future.state with
-    | Resolved r ->
-      Mutex.unlock future.mutex;
-      r
-    | Pending ->
-      Condition.wait future.cond future.mutex;
-      wait ()
-  in
-  wait ()
-
-let poll future =
-  Mutex.lock future.mutex;
-  let r = match future.state with Pending -> None | Resolved r -> Some r in
-  Mutex.unlock future.mutex;
-  r
-
+let await = Sched.Scheduler.Promise.result
+let poll = Sched.Scheduler.Promise.poll
 let parallel_map pool f xs = List.map (fun x -> submit pool (fun () -> f x)) xs |> List.map await
-
-let pending pool = Wfq.Wfqueue.approx_length pool.run_queue
+let pending = Sched.Scheduler.pending
 
 let obs pool =
-  {
-    workers = pool.worker_count;
-    live_workers = Atomic.get pool.live;
-    worker_deaths = Atomic.get pool.deaths;
-    task_exceptions = Atomic.get pool.exceptions;
-    tasks_completed = Atomic.get pool.completed;
-    aborted_futures = Atomic.get pool.aborted;
-  }
+  match Sched.Scheduler.obs pool with
+  | [] -> assert false (* the default pool always exists *)
+  | d :: _ ->
+    {
+      workers = d.Sched.Scheduler.workers;
+      live_workers = d.live_workers;
+      worker_deaths = d.worker_deaths;
+      task_exceptions = d.task_exceptions;
+      tasks_completed = d.tasks_completed;
+      aborted_futures = d.aborted_promises;
+    }
 
-let shutdown pool =
-  if Atomic.compare_and_set pool.shutdown_started false true then begin
-    P.begin_shutdown pool.proto;
-    List.iter Domain.join pool.workers;
-    (* Residual sweep: claims-and-aborts any ticket that raced the
-       stop (pushed after the last worker's final EMPTY).  Each such
-       ticket's submitter also self-aborts on its re-check; the claim
-       CAS makes the two resolutions exactly-once. *)
-    ignore (P.drain pool.proto (Wfq.Wfqueue.domain_handle pool.run_queue));
-    Atomic.set pool.shutdown_done true
-  end
-  else
-    (* Idempotent, and every caller returns only once the first
-       shutdown finished its join + drain. *)
-    while not (Atomic.get pool.shutdown_done) do
-      Domain.cpu_relax ()
-    done
+let shutdown = Sched.Scheduler.shutdown

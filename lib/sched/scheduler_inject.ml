@@ -1,0 +1,10 @@
+(* The storm build of the scheduler: the same runtime text with the
+   probe and the fault injector compiled in, over the instrumented
+   queue ([Wfq.Wfqueue_inject]) so a seeded [Inject.Plan] can kill or
+   park victims at every queue window {e and} the three scheduler
+   windows ([Sched_steal_pending] / [Sched_park_pending] /
+   [Sched_resolve_pending]).  Used by test/test_sched.ml's kill storms
+   and the [repro sched] driver; transparent while no controller is
+   installed. *)
+
+include Runtime.Make (Obs.Probe.Enabled) (Inject.Enabled) (Wfq.Wfqueue_inject)

@@ -98,6 +98,7 @@ module Adaptive_queue =
   Topology.Adaptive_algo.Make (Atomic_shim) (Obs.Probe.Enabled) (Inject.Enabled) (Queue)
 
 module Adaptive_router = Shard.Router (Atomic_shim) (Adaptive_queue)
+module Sched_core = Sched.Sched_algo.Make (Atomic_shim) (Obs.Probe.Enabled) (Inject.Enabled)
 
 type stats = { scheduling_decisions : int; max_steps_hit : bool }
 

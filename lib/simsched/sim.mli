@@ -65,6 +65,12 @@ module Adaptive_router : module type of Shard.Router (Atomic_shim) (Adaptive_que
 (** The sharded router over adaptive shards, all on simulated
     atomics. *)
 
+module Sched_core :
+    module type of Sched.Sched_algo.Make (Atomic_shim) (Obs.Probe.Enabled) (Inject.Enabled)
+(** The scheduler's lock-free core — promises and the Chase–Lev
+    work-stealing deque — on simulated atomics: the steal-vs-pop and
+    resolve-vs-await races explored by test/test_sched.ml run here. *)
+
 type stats = {
   scheduling_decisions : int;
   max_steps_hit : bool; (* true when the step limit stopped the run *)

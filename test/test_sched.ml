@@ -1,0 +1,641 @@
+(* Tests for the effects-based task scheduler (lib/sched).
+
+   Three layers, mirroring how the subsystem is built:
+   - the lock-free core (promises + Chase–Lev deque) model-checked on
+     the simsched shim: exhaustive preemption-bounded exploration and
+     ≥500-seed random sweeps of the steal-vs-pop and resolve-vs-await
+     races, plus seeded kill storms at the new injection points;
+   - the runtime on real domains (Sched.Scheduler): fan-out/fan-in,
+     micropools, worker death, shutdown stranding;
+   - the storm build (Sched.Scheduler_inject): seeded kill plans over
+     the queue and scheduler windows, asserting zero stranded
+     promises. *)
+
+let check = Alcotest.check
+
+module Sim = Simsched.Sim
+module SC = Sim.Sched_core
+module Deque = SC.Deque
+module Promise = SC.Promise
+
+(* ------------------------------------------------------------------ *)
+(* Deque: sequential semantics                                        *)
+
+let test_deque_sequential () =
+  let d = Deque.create ~capacity:8 () in
+  check Alcotest.int "capacity" 8 (Deque.capacity d);
+  for i = 1 to 8 do
+    check Alcotest.bool "push fits" true (Deque.push d i)
+  done;
+  check Alcotest.bool "push overflows at capacity" false (Deque.push d 9);
+  check Alcotest.int "length" 8 (Deque.length d);
+  (* owner pops LIFO *)
+  check Alcotest.(option int) "pop lifo" (Some 8) (Deque.pop d);
+  (* thief steals FIFO *)
+  check Alcotest.(option int) "steal fifo" (Some 1) (Deque.steal d);
+  check Alcotest.(option int) "steal fifo 2" (Some 2) (Deque.steal d);
+  check Alcotest.(option int) "pop lifo 2" (Some 7) (Deque.pop d);
+  (* drain the rest from both ends *)
+  check Alcotest.(option int) "steal 3" (Some 3) (Deque.steal d);
+  check Alcotest.(option int) "pop 6" (Some 6) (Deque.pop d);
+  check Alcotest.(option int) "pop 5" (Some 5) (Deque.pop d);
+  check Alcotest.(option int) "pop 4 (last)" (Some 4) (Deque.pop d);
+  check Alcotest.(option int) "empty pop" None (Deque.pop d);
+  check Alcotest.(option int) "empty steal" None (Deque.steal d);
+  (* indices keep working after wraparound *)
+  for round = 1 to 5 do
+    for i = 1 to 6 do
+      ignore (Deque.push d ((round * 10) + i) : bool)
+    done;
+    for i = 1 to 3 do
+      check Alcotest.(option int) "wrap steal" (Some ((round * 10) + i)) (Deque.steal d)
+    done;
+    for i = 6 downto 4 do
+      check Alcotest.(option int) "wrap pop" (Some ((round * 10) + i)) (Deque.pop d)
+    done
+  done;
+  check Alcotest.bool "rejects non-power-of-two" true
+    (try
+       ignore (Deque.create ~capacity:6 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Deque: steal-vs-pop races under the simulated scheduler            *)
+
+(* Shared scenario: an owner pushes [n_items] and pops some, thieves
+   sweep concurrently; afterwards the test drains sequentially and
+   checks every pushed value was taken exactly once — the Chase–Lev
+   conservation invariant (the last-element CAS race and the
+   stale-read ABA window both break exactly this if wrong). *)
+type deque_state = { d : int Deque.t; taken : int list ref }
+
+let take st v = st.taken := v :: !(st.taken)
+
+let deque_fibers st ~n_items ~n_pops ~n_thieves ~attempts =
+  let owner () =
+    for i = 1 to n_items do
+      (* capacity 16 >= n_items: pushes never overflow here *)
+      ignore (Deque.push st.d i : bool)
+    done;
+    for _ = 1 to n_pops do
+      match Deque.pop st.d with Some v -> take st v | None -> ()
+    done
+  in
+  let thief () =
+    for _ = 1 to attempts do
+      match Deque.steal st.d with Some v -> take st v | None -> ()
+    done
+  in
+  Array.append [| owner |] (Array.init n_thieves (fun _ -> thief))
+
+let deque_check st ~n_items ~ident =
+  (* post-run: drain what is left (no concurrency, plain pops) *)
+  let rec drain () =
+    match Deque.pop st.d with
+    | Some v ->
+      take st v;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let got = List.sort compare !(st.taken) in
+  let want = List.init n_items (fun i -> i + 1) in
+  if got <> want then
+    Alcotest.failf "%s: conservation broken: took [%s], want [%s]" ident
+      (String.concat ";" (List.map string_of_int got))
+      (String.concat ";" (List.map string_of_int want))
+
+let test_deque_explore_last_element () =
+  (* the smallest witness of the owner-vs-thief top CAS race: one
+     element, one pop, one steal — exhaustive *)
+  let state = ref None in
+  let r =
+    Sim.explore ~max_schedules:60_000 ~preemptions:3
+      ~make_fibers:(fun () ->
+        let st = { d = Deque.create ~capacity:16 (); taken = ref [] } in
+        state := Some st;
+        deque_fibers st ~n_items:1 ~n_pops:1 ~n_thieves:1 ~attempts:2)
+      ~check:(fun () -> deque_check (Option.get !state) ~n_items:1 ~ident:"last-element")
+      ()
+  in
+  if r.Sim.truncated_runs > 0 then Alcotest.fail "truncated schedules";
+  check Alcotest.bool "non-trivial space" true (r.Sim.schedules > 50)
+
+let test_deque_explore_steal_vs_pop () =
+  (* two elements: the pop-side decrement and the steal CAS interleave
+     across a non-empty ring — exhaustive with 2 forced preemptions *)
+  let state = ref None in
+  let r =
+    Sim.explore ~max_schedules:80_000 ~preemptions:2
+      ~make_fibers:(fun () ->
+        let st = { d = Deque.create ~capacity:16 (); taken = ref [] } in
+        state := Some st;
+        deque_fibers st ~n_items:2 ~n_pops:2 ~n_thieves:1 ~attempts:2)
+      ~check:(fun () -> deque_check (Option.get !state) ~n_items:2 ~ident:"steal-vs-pop")
+      ()
+  in
+  if r.Sim.truncated_runs > 0 then Alcotest.fail "truncated schedules";
+  check Alcotest.bool "non-trivial space" true (r.Sim.schedules > 100)
+
+let test_deque_seed_sweep () =
+  (* deeper interleavings than the preemption bound reaches: 600 seeds
+     of owner + 2 thieves over 8 items *)
+  for seed = 1 to 600 do
+    let st = { d = Deque.create ~capacity:16 (); taken = ref [] } in
+    let stats =
+      Sim.run ~seed:(Int64.of_int seed)
+        (deque_fibers st ~n_items:8 ~n_pops:5 ~n_thieves:2 ~attempts:6)
+    in
+    if stats.Sim.max_steps_hit then Alcotest.failf "seed %d: step limit" seed;
+    deque_check st ~n_items:8 ~ident:(Printf.sprintf "seed %d" seed)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Promise: resolve-exactly-once and resolve-vs-await                 *)
+
+type promise_state = {
+  p : (int, int) Promise.t;
+  wins : int ref;
+  fired : int ref; (* total waiter invocations *)
+  saw : (int, int) result option ref; (* first value a waiter saw *)
+}
+
+let make_promise_state () = { p = Promise.create (); wins = ref 0; fired = ref 0; saw = ref None }
+
+let waiter st r =
+  incr st.fired;
+  match !(st.saw) with
+  | None -> st.saw := Some r
+  | Some prev ->
+    if prev <> r then Alcotest.failf "waiters saw different results (split resolution)"
+
+let promise_check st ~n_waiters ~ident =
+  if !(st.wins) <> 1 then Alcotest.failf "%s: %d resolvers won (want exactly 1)" ident !(st.wins);
+  if !(st.fired) <> n_waiters then
+    Alcotest.failf "%s: %d waiter firings for %d waiters" ident !(st.fired) n_waiters;
+  match (Promise.poll st.p, !(st.saw)) with
+  | None, _ -> Alcotest.failf "%s: promise unresolved after a winner" ident
+  | Some r, Some seen when r <> seen ->
+    Alcotest.failf "%s: waiter saw a value the promise does not hold" ident
+  | Some _, _ -> ()
+
+let test_promise_explore_resolve_race () =
+  (* 2 resolvers racing 1 awaiter, exhaustive: exactly one wins; the
+     waiter fires exactly once whichever side of the registration CAS
+     the resolution lands on *)
+  let state = ref None in
+  let r =
+    Sim.explore ~max_schedules:60_000 ~preemptions:3
+      ~make_fibers:(fun () ->
+        let st = make_promise_state () in
+        state := Some st;
+        let resolver v () = if Promise.try_resolve st.p (Ok v) then incr st.wins in
+        let awaiter () = ignore (Promise.add_waiter st.p (waiter st) : bool) in
+        [| resolver 1; resolver 2; awaiter |])
+      ~check:(fun () -> promise_check (Option.get !state) ~n_waiters:1 ~ident:"explore")
+      ()
+  in
+  if r.Sim.truncated_runs > 0 then Alcotest.fail "truncated schedules";
+  check Alcotest.bool "non-trivial space" true (r.Sim.schedules > 100)
+
+let test_promise_seed_sweep () =
+  (* 600 seeds: 3 resolvers (one rejecting) vs 3 awaiters *)
+  for seed = 1 to 600 do
+    let st = make_promise_state () in
+    let resolver v () = if Promise.try_resolve st.p v then incr st.wins in
+    let awaiter () = ignore (Promise.add_waiter st.p (waiter st) : bool) in
+    let fibers =
+      [| resolver (Ok 1); resolver (Ok 2); resolver (Error 3); awaiter; awaiter; awaiter |]
+    in
+    let stats = Sim.run ~seed:(Int64.of_int seed) fibers in
+    if stats.Sim.max_steps_hit then Alcotest.failf "seed %d: step limit" seed;
+    promise_check st ~n_waiters:3 ~ident:(Printf.sprintf "seed %d" seed)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Kill storms at the new injection points (simulated)                *)
+
+let test_kill_steal_window () =
+  (* a thief dies holding the claim window ([Sched_steal_pending],
+     pre-CAS): it must have taken nothing, and everyone else must
+     still take everything exactly once.  400 seeds, victim rotates. *)
+  for seed = 1 to 400 do
+    let victim = 1 + (seed mod 2) in
+    (* fiber index of a thief *)
+    let st = { d = Deque.create ~capacity:16 (); taken = ref [] } in
+    let dead = ref false in
+    let fibers = deque_fibers st ~n_items:8 ~n_pops:4 ~n_thieves:2 ~attempts:6 in
+    let shielded =
+      Array.mapi
+        (fun i f () ->
+          if i = victim then (try f () with Inject.Killed _ -> dead := true) else f ())
+        fibers
+    in
+    Inject.with_controller
+      (fun p ->
+        if p = Inject.Sched_steal_pending && Sim.current_fiber () = victim then Inject.Die
+        else Inject.Continue)
+      (fun () ->
+        let stats = Sim.run ~seed:(Int64.of_int seed) shielded in
+        if stats.Sim.max_steps_hit then Alcotest.failf "seed %d: step limit" seed);
+    deque_check st ~n_items:8 ~ident:(Printf.sprintf "steal-kill seed %d" seed);
+    (* the victim only survives if the schedule never let it reach a
+       non-empty steal; either way conservation held above *)
+    ignore !dead
+  done
+
+let test_kill_resolve_window () =
+  (* a resolver dies in the commit window ([Sched_resolve_pending],
+     pre-CAS): the promise must still be pending, and the recovery
+     resolve — retrying through further kills, exactly what
+     [Runtime.resolve_hard] does — must land exactly once.  500
+     seeds. *)
+  for seed = 1 to 500 do
+    let st = make_promise_state () in
+    let plan =
+      Inject.Plan.make ~lethal:true ~points:[ Inject.Sched_resolve_pending ]
+        ~seed:(Int64.of_int seed) ()
+    in
+    let was_killed = ref false in
+    let resolver () =
+      let rec resolve_hard r =
+        match Promise.try_resolve st.p r with
+        | won -> won
+        | exception Inject.Killed _ -> resolve_hard r
+      in
+      match Promise.try_resolve st.p (Ok 42) with
+      | won -> if won then incr st.wins
+      | exception Inject.Killed _ ->
+        (* the runtime's death handler: resolve with the death marker *)
+        was_killed := true;
+        if resolve_hard (Error 13) then incr st.wins
+    in
+    let awaiter () = ignore (Promise.add_waiter st.p (waiter st) : bool) in
+    Inject.with_controller (Inject.Plan.decide plan) (fun () ->
+        let stats = Sim.run ~seed:(Int64.of_int seed) [| resolver; awaiter; awaiter |] in
+        if stats.Sim.max_steps_hit then Alcotest.failf "seed %d: step limit" seed);
+    promise_check st ~n_waiters:2 ~ident:(Printf.sprintf "resolve-kill seed %d" seed);
+    (if !was_killed then
+       match Promise.poll st.p with
+       | Some (Error 13) -> ()
+       | _ -> Alcotest.failf "seed %d: killed resolver's recovery value lost" seed)
+  done
+
+let test_park_storms () =
+  (* parks (not kills) across all three scheduler windows: a parked
+     fiber is descheduled mid-window; conservation and exactly-once
+     must be schedule-independent.  300 seeds over the deque
+     scenario. *)
+  Inject.set_park (fun n -> for _ = 1 to min n 16 do Sim.yield () done);
+  Fun.protect ~finally:(fun () -> Inject.set_park (fun n -> for _ = 1 to n do Domain.cpu_relax () done))
+  @@ fun () ->
+  for seed = 1 to 300 do
+    let st = { d = Deque.create ~capacity:16 (); taken = ref [] } in
+    let plan =
+      Inject.Plan.make ~park:8
+        ~points:
+          [ Inject.Sched_steal_pending; Inject.Sched_park_pending; Inject.Sched_resolve_pending ]
+        ~seed:(Int64.of_int seed) ()
+    in
+    Inject.with_controller (Inject.Plan.decide plan) (fun () ->
+        let stats =
+          Sim.run ~seed:(Int64.of_int seed)
+            (deque_fibers st ~n_items:8 ~n_pops:4 ~n_thieves:2 ~attempts:6)
+        in
+        if stats.Sim.max_steps_hit then Alcotest.failf "seed %d: step limit" seed);
+    deque_check st ~n_items:8 ~ident:(Printf.sprintf "park seed %d" seed)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Runtime on real domains                                            *)
+
+module S = Sched.Scheduler
+
+let with_sched ?(workers = 3) ?injector_cap f =
+  let t = S.create ~workers ?injector_cap () in
+  Fun.protect ~finally:(fun () -> S.shutdown t) (fun () -> f t)
+
+let poll_until ?(timeout = 10.0) ~what p =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    match S.Promise.poll p with
+    | Some r -> r
+    | None ->
+      if Unix.gettimeofday () > deadline then Alcotest.failf "%s: promise stranded" what
+      else begin
+        Domain.cpu_relax ();
+        go ()
+      end
+  in
+  go ()
+
+let test_async_await () =
+  with_sched (fun t ->
+      let p = S.async t (fun () -> 21 * 2) in
+      check Alcotest.bool "resolves" true (S.Promise.result p = Ok 42);
+      let q = S.async t (fun () -> failwith "boom") in
+      match S.Promise.result q with
+      | Error (Failure m) -> check Alcotest.string "contained" "boom" m
+      | _ -> Alcotest.fail "expected Failure")
+
+let test_fan_out_fan_in () =
+  (* each root spawns children from inside its fiber and awaits them:
+     the await suspends the fiber and the worker moves on — with 3
+     workers and 40 roots this deadlocks in under a second unless
+     suspension really releases the worker *)
+  with_sched ~workers:3 (fun t ->
+      let roots =
+        List.init 40 (fun r ->
+            S.async t (fun () ->
+                let kids = List.init 4 (fun k -> S.async t (fun () -> (r * 10) + k)) in
+                List.fold_left (fun acc kid -> acc + S.Promise.await kid) 0 kids))
+      in
+      let total =
+        List.fold_left
+          (fun acc p ->
+            match S.Promise.result p with
+            | Ok v -> acc + v
+            | Error e -> Alcotest.failf "root failed: %s" (Printexc.to_string e))
+          0 roots
+      in
+      (* sum over r<40, k<4 of 10r+k *)
+      check Alcotest.int "fan-in total" ((10 * 4 * (40 * 39 / 2)) + (40 * 6)) total)
+
+let test_spawn_recursion () =
+  (* a spawn tree deeper than the worker count: fib via promises *)
+  with_sched ~workers:2 (fun t ->
+      let rec fib n = if n < 2 then n else S.Promise.await (S.async t (fun () -> fib (n - 1))) + fib (n - 2) in
+      let p = S.async t (fun () -> fib 12) in
+      check Alcotest.bool "fib 12" true (S.Promise.result p = Ok 144))
+
+let test_yield () =
+  with_sched ~workers:1 (fun t ->
+      let log = Atomic.make 0 in
+      let p =
+        S.async t (fun () ->
+            let before = Atomic.get log in
+            S.yield ();
+            Atomic.get log - before)
+      in
+      let q = S.async t (fun () -> Atomic.incr log) in
+      ignore (S.Promise.result q);
+      (* with one worker, p's yield let q run first iff q was queued
+         behind it; either way both complete and yield returned *)
+      match S.Promise.result p with
+      | Ok d -> check Alcotest.bool "yield progressed" true (d >= 0)
+      | Error e -> Alcotest.failf "yield task failed: %s" (Printexc.to_string e))
+
+let test_micropools () =
+  with_sched ~workers:2 (fun t ->
+      S.add_pool t ~name:"io" ~workers:1;
+      check Alcotest.(list string) "pool names" [ "default"; "io" ] (S.pool_names t);
+      (* route by name from outside, and spawn-affinity from inside *)
+      let io_tasks =
+        List.init 20 (fun i -> S.async ~pool:"io" t (fun () -> i))
+      in
+      let cross =
+        S.async t (fun () ->
+            (* a default-pool fiber awaiting an io-pool promise *)
+            let p = S.async ~pool:"io" t (fun () -> 7) in
+            S.Promise.await p + 1)
+      in
+      List.iter (fun p -> ignore (S.Promise.result p)) io_tasks;
+      check Alcotest.bool "cross-pool await" true (S.Promise.result cross = Ok 8);
+      let obs = S.obs t in
+      check Alcotest.int "two pools observed" 2 (List.length obs);
+      let io = List.find (fun o -> o.S.name = "io") obs in
+      check Alcotest.bool "io pool ran its tasks" true (io.S.tasks_completed >= 21);
+      check Alcotest.int "io pool sized as asked" 1 io.S.workers;
+      (* duplicate names are rejected *)
+      check Alcotest.bool "duplicate rejected" true
+        (try
+           S.add_pool t ~name:"io" ~workers:1;
+           false
+         with Invalid_argument _ -> true))
+
+let test_external_promise () =
+  with_sched ~workers:2 (fun t ->
+      let gate : int S.Promise.t = S.Promise.create () in
+      let waiters =
+        List.init 8 (fun i -> S.async t (fun () -> S.Promise.await gate + i))
+      in
+      (* nothing resolves until the app does *)
+      Unix.sleepf 0.02;
+      List.iter
+        (fun p -> check Alcotest.bool "parked" true (S.Promise.poll p = None))
+        waiters;
+      check Alcotest.bool "first resolve wins" true (S.Promise.resolve gate 100);
+      check Alcotest.bool "second resolve loses" false (S.Promise.resolve gate 999);
+      List.iteri
+        (fun i p ->
+          check Alcotest.bool "woken with the winner" true (S.Promise.result p = Ok (100 + i)))
+        waiters)
+
+let test_shutdown_rejects_and_completes_backlog () =
+  let t = S.create ~workers:1 () in
+  let counter = Atomic.make 0 in
+  let ps = List.init 200 (fun _ -> S.async t (fun () -> Atomic.incr counter)) in
+  S.shutdown t;
+  check Alcotest.int "backlog completed" 200 (Atomic.get counter);
+  List.iter (fun p -> check Alcotest.bool "resolved" true (S.Promise.poll p <> None)) ps;
+  try
+    ignore (S.async t (fun () -> 2));
+    Alcotest.fail "async after shutdown accepted"
+  with Invalid_argument _ -> ()
+
+let test_worker_death_recovery () =
+  with_sched ~workers:2 (fun t ->
+      let p = S.async t (fun () -> raise S.Abort_worker) in
+      check Alcotest.bool "death resolves the promise" true
+        (poll_until ~what:"abort task" p = Error S.Abort_worker);
+      (* the survivor keeps the pool serving *)
+      let ps = List.init 50 (fun i -> S.async t (fun () -> i)) in
+      List.iteri
+        (fun i p -> check Alcotest.bool "survivor serves" true (S.Promise.result p = Ok i))
+        ps;
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec wait_for_counters () =
+        let o = List.hd (S.obs t) in
+        if o.S.worker_deaths = 1 && o.S.live_workers = 1 then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.failf "death not observed: deaths=%d live=%d" o.S.worker_deaths
+            o.S.live_workers
+        else begin
+          Domain.cpu_relax ();
+          wait_for_counters ()
+        end
+      in
+      wait_for_counters ())
+
+let test_no_strand_after_all_workers_die () =
+  (* the old pool's orphan test, through the scheduler: kill the only
+     worker while a started fiber sits suspended on an external
+     promise, queue more roots nobody will run, then resolve the
+     external promise and shut down — every promise must resolve *)
+  let t = S.create ~workers:1 () in
+  let started = Atomic.make false in
+  let gate : int S.Promise.t = S.Promise.create () in
+  let suspended =
+    S.async t (fun () ->
+        Atomic.set started true;
+        S.Promise.await gate + 1)
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  (* the fiber is now parked on [gate]; kill the only worker *)
+  let killer = S.async t (fun () -> raise S.Abort_worker) in
+  check Alcotest.bool "killer resolved" true (poll_until ~what:"killer" killer = Error S.Abort_worker);
+  (* orphans: accepted, but no worker will ever claim them *)
+  let orphans = List.init 5 (fun i -> S.async t (fun () -> i)) in
+  (* resolving the gate wakes the suspended fiber's continuation into a
+     worker-less injector; the shutdown sweep must claim it (and the
+     orphans) rather than strand anything *)
+  check Alcotest.bool "gate resolves" true (S.Promise.resolve gate 41);
+  S.shutdown t;
+  List.iteri
+    (fun i p ->
+      match S.Promise.poll p with
+      | Some (Error S.Shutdown) -> ()
+      | Some (Ok _) -> () (* legal: the sweep ran it inline before workers died? no — but Ok only if a worker got it first *)
+      | Some (Error e) -> Alcotest.failf "orphan %d: unexpected %s" i (Printexc.to_string e)
+      | None -> Alcotest.failf "orphan %d stranded" i)
+    orphans;
+  (match S.Promise.poll suspended with
+  | Some (Ok v) ->
+    (* the continuation ran (inline or swept-after-resolve) *)
+    check Alcotest.int "gate value flowed through" 42 v
+  | Some (Error S.Shutdown) -> () (* or the sweep aborted it: unwound, not stranded *)
+  | Some (Error e) -> Alcotest.failf "suspended fiber: unexpected %s" (Printexc.to_string e)
+  | None -> Alcotest.fail "suspended fiber stranded");
+  let o = List.hd (S.obs t) in
+  check Alcotest.bool "sweep aborted something" true (o.S.aborted_promises >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Storm build: seeded kill plans over queue + scheduler windows      *)
+
+module SI = Sched.Scheduler_inject
+
+let test_storm_kill_fan_out () =
+  (* the acceptance drill, sized for CI: fan-out/fan-in through the
+     storm build while a seeded plan kills victims at every queue and
+     scheduler window.  Whatever dies, no promise may be stranded:
+     every root resolves Ok, or with the death/shutdown marker. *)
+  let n_roots = 40 and n_kids = 4 in
+  for seed = 1 to 12 do
+    let t = SI.create ~workers:4 () in
+    let plan = Inject.Plan.make ~lethal:true ~seed:(Int64.of_int (seed * 7919)) () in
+    (* victims are the worker domains; the driver (this domain) must
+       survive to audit, exactly like the repro storm drivers *)
+    let driver = Domain.self () in
+    let decide p = if Domain.self () = driver then Inject.Continue else Inject.Plan.decide plan p in
+    Inject.with_controller decide (fun () ->
+        let roots =
+          List.init n_roots (fun r ->
+              SI.async t (fun () ->
+                  let kids =
+                    List.init n_kids (fun k -> SI.async t (fun () -> (r * n_kids) + k))
+                  in
+                  List.fold_left
+                    (fun acc kid ->
+                      match SI.Promise.result kid with Ok v -> acc + v | Error _ -> acc)
+                    0 kids))
+        in
+        (* give the storm a moment, then shut down: the sweep must
+           resolve whatever the (possibly dead) workers left behind *)
+        let deadline = Unix.gettimeofday () +. 5.0 in
+        let rec settle () =
+          if List.for_all (fun p -> SI.Promise.poll p <> None) roots then ()
+          else if Unix.gettimeofday () > deadline then ()
+          else begin
+            Unix.sleepf 0.001;
+            settle ()
+          end
+        in
+        settle ();
+        SI.shutdown t;
+        List.iteri
+          (fun i p ->
+            match SI.Promise.poll p with
+            | None ->
+              Alcotest.failf "seed %d: root %d stranded (%s)" seed i (Inject.Plan.describe plan)
+            | Some (Ok _) | Some (Error SI.Shutdown) | Some (Error SI.Abort_worker)
+            | Some (Error (Inject.Killed _)) ->
+              ()
+            | Some (Error e) ->
+              Alcotest.failf "seed %d: root %d unexpected %s" seed i (Printexc.to_string e))
+          roots)
+  done
+
+let test_storm_park_fan_out () =
+  (* same shape, parks instead of kills: victims stall in the windows
+     but nothing dies, so every root must complete Ok with the exact
+     fan-in sum *)
+  Inject.set_park (fun n -> Unix.sleepf (float_of_int n *. 1e-6));
+  Fun.protect ~finally:(fun () -> Inject.set_park (fun n -> for _ = 1 to n do Domain.cpu_relax () done))
+  @@ fun () ->
+  let n_roots = 30 and n_kids = 4 in
+  for seed = 1 to 8 do
+    let t = SI.create ~workers:4 () in
+    let plan = Inject.Plan.make ~park:500 ~seed:(Int64.of_int (seed * 104729)) () in
+    Inject.with_controller (Inject.Plan.decide plan) (fun () ->
+        let roots =
+          List.init n_roots (fun r ->
+              SI.async t (fun () ->
+                  let kids =
+                    List.init n_kids (fun k -> SI.async t (fun () -> (r * n_kids) + k))
+                  in
+                  List.fold_left (fun acc kid -> acc + SI.Promise.await kid) 0 kids))
+        in
+        let expect r = List.init n_kids (fun k -> (r * n_kids) + k) |> List.fold_left ( + ) 0 in
+        List.iteri
+          (fun r p ->
+            match SI.Promise.result p with
+            | Ok v -> check Alcotest.int (Printf.sprintf "seed %d root %d" seed r) (expect r) v
+            | Error e -> Alcotest.failf "seed %d root %d: %s" seed r (Printexc.to_string e))
+          roots;
+        SI.shutdown t)
+  done
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "deque",
+        [
+          Alcotest.test_case "sequential semantics" `Quick test_deque_sequential;
+          Alcotest.test_case "last element: exhaustive" `Quick test_deque_explore_last_element;
+          Alcotest.test_case "steal vs pop: exhaustive" `Quick test_deque_explore_steal_vs_pop;
+          Alcotest.test_case "steal vs pop: 600-seed sweep" `Quick test_deque_seed_sweep;
+        ] );
+      ( "promise",
+        [
+          Alcotest.test_case "resolve race: exhaustive" `Quick test_promise_explore_resolve_race;
+          Alcotest.test_case "resolve vs await: 600-seed sweep" `Quick test_promise_seed_sweep;
+        ] );
+      ( "kill storms",
+        [
+          Alcotest.test_case "steal window kills" `Quick test_kill_steal_window;
+          Alcotest.test_case "resolve window kills + recovery" `Quick test_kill_resolve_window;
+          Alcotest.test_case "park storms at sched points" `Quick test_park_storms;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "async / await" `Quick test_async_await;
+          Alcotest.test_case "fan-out fan-in" `Quick test_fan_out_fan_in;
+          Alcotest.test_case "spawn recursion (fib)" `Quick test_spawn_recursion;
+          Alcotest.test_case "yield" `Quick test_yield;
+          Alcotest.test_case "micropools" `Quick test_micropools;
+          Alcotest.test_case "external promises" `Quick test_external_promise;
+          Alcotest.test_case "shutdown: rejects + completes backlog" `Quick
+            test_shutdown_rejects_and_completes_backlog;
+          Alcotest.test_case "worker death recovery" `Quick test_worker_death_recovery;
+          Alcotest.test_case "no strand after all workers die" `Quick
+            test_no_strand_after_all_workers_die;
+        ] );
+      ( "storms",
+        [
+          Alcotest.test_case "seeded kill storm (fan-out)" `Quick test_storm_kill_fan_out;
+          Alcotest.test_case "seeded park storm (fan-out)" `Quick test_storm_park_fan_out;
+        ] );
+    ]
